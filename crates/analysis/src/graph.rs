@@ -1,0 +1,174 @@
+//! Graph analysis: connected components, diameters, path lengths.
+//!
+//! Operates on plain adjacency lists (`Vec<Vec<u32>>`) as produced by
+//! `gocast::Snapshot`, with an optional liveness mask so post-failure
+//! analysis can ignore dead nodes.
+
+use std::collections::VecDeque;
+
+/// Sizes of all connected components among nodes where `alive` is true,
+/// descending.
+pub fn component_sizes(adj: &[Vec<u32>], alive: &[bool]) -> Vec<usize> {
+    let n = adj.len();
+    assert_eq!(alive.len(), n, "mask length mismatch");
+    let mut seen = vec![false; n];
+    let mut sizes = Vec::new();
+    for start in 0..n {
+        if seen[start] || !alive[start] {
+            continue;
+        }
+        let mut size = 0;
+        let mut queue = VecDeque::from([start as u32]);
+        seen[start] = true;
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &w in &adj[u as usize] {
+                if alive[w as usize] && !seen[w as usize] {
+                    seen[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// The fraction `q` of live nodes inside the largest connected component
+/// (the paper's Figure 6 metric; `q = 1` means the overlay survived).
+pub fn largest_component_fraction(adj: &[Vec<u32>], alive: &[bool]) -> f64 {
+    let live = alive.iter().filter(|&&a| a).count();
+    if live == 0 {
+        return 0.0;
+    }
+    let sizes = component_sizes(adj, alive);
+    sizes.first().copied().unwrap_or(0) as f64 / live as f64
+}
+
+/// BFS hop distances from `start` (`u32::MAX` = unreachable).
+pub fn bfs_distances(adj: &[Vec<u32>], alive: &[bool], start: u32) -> Vec<u32> {
+    let n = adj.len();
+    let mut dist = vec![u32::MAX; n];
+    if !alive[start as usize] {
+        return dist;
+    }
+    dist[start as usize] = 0;
+    let mut queue = VecDeque::from([start]);
+    while let Some(u) = queue.pop_front() {
+        for &w in &adj[u as usize] {
+            if alive[w as usize] && dist[w as usize] == u32::MAX {
+                dist[w as usize] = dist[u as usize] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Exact hop diameter of the graph restricted to live nodes (the longest
+/// shortest path within the largest component). `0` for empty graphs.
+///
+/// Runs BFS from every live node — fine up to ~10k nodes with degree ~6.
+pub fn diameter(adj: &[Vec<u32>], alive: &[bool]) -> u32 {
+    let mut best = 0;
+    for start in 0..adj.len() as u32 {
+        if !alive[start as usize] {
+            continue;
+        }
+        let d = bfs_distances(adj, alive, start);
+        for &v in &d {
+            if v != u32::MAX {
+                best = best.max(v);
+            }
+        }
+    }
+    best
+}
+
+/// Average shortest-path hop count over reachable live pairs.
+pub fn mean_path_length(adj: &[Vec<u32>], alive: &[bool]) -> f64 {
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for start in 0..adj.len() as u32 {
+        if !alive[start as usize] {
+            continue;
+        }
+        for &v in &bfs_distances(adj, alive, start) {
+            if v != u32::MAX && v > 0 {
+                sum += v as u64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2 path plus isolated 3, dead 4 bridging 2-5.
+    fn fixture() -> (Vec<Vec<u32>>, Vec<bool>) {
+        let adj = vec![
+            vec![1],
+            vec![0, 2],
+            vec![1, 4],
+            vec![],
+            vec![2, 5],
+            vec![4],
+        ];
+        let alive = vec![true, true, true, true, false, true];
+        (adj, alive)
+    }
+
+    #[test]
+    fn components_respect_liveness() {
+        let (adj, alive) = fixture();
+        // Dead node 4 splits {0,1,2} from {5}; 3 is isolated.
+        assert_eq!(component_sizes(&adj, &alive), vec![3, 1, 1]);
+        let all = vec![true; 6];
+        assert_eq!(component_sizes(&adj, &all), vec![5, 1]);
+    }
+
+    #[test]
+    fn largest_fraction() {
+        let (adj, alive) = fixture();
+        // 5 live nodes, largest live component 3.
+        assert!((largest_component_fraction(&adj, &alive) - 0.6).abs() < 1e-12);
+        assert_eq!(largest_component_fraction(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bfs_and_diameter() {
+        let (adj, alive) = fixture();
+        let d = bfs_distances(&adj, &alive, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[5], u32::MAX, "path crosses a dead node");
+        assert_eq!(diameter(&adj, &alive), 2);
+        let all = vec![true; 6];
+        assert_eq!(diameter(&adj, &all), 4, "0-1-2-4-5");
+    }
+
+    #[test]
+    fn mean_path_length_on_triangle() {
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let alive = vec![true; 3];
+        assert!((mean_path_length(&adj, &alive) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_diameter() {
+        let n = 16u32;
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| vec![(i + 1) % n, (i + n - 1) % n])
+            .collect();
+        let alive = vec![true; n as usize];
+        assert_eq!(diameter(&adj, &alive), n / 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gocast-analysis — offline analysis for GoCast experiments
+//!
+//! Turns raw simulation output into the quantities the paper's figures
+//! plot:
+//!
+//! - [`MetricsRecorder`] — a streaming [`gocast_sim::Recorder`] that
+//!   aggregates delivery delays, redundancy, pulls and link churn while
+//!   the simulation runs (no event buffering at paper scale);
+//! - [`Cdf`] / [`Histogram`] — distribution statistics (delay CDFs of
+//!   Figures 3–4, degree distributions of Figure 5(a));
+//! - graph analysis ([`largest_component_fraction`], [`diameter`],
+//!   [`component_sizes`], [`mean_path_length`]) for the resilience and
+//!   scalability results (Figure 6, §3 summaries);
+//! - [`Table`] — aligned terminal tables plus CSV output for every
+//!   experiment.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod delivery;
+mod graph;
+mod stats;
+mod table;
+
+pub use delivery::MetricsRecorder;
+pub use graph::{
+    bfs_distances, component_sizes, diameter, largest_component_fraction, mean_path_length,
+};
+pub use stats::{Cdf, Histogram, Summary};
+pub use table::{fmt_ms, fmt_secs, Table};

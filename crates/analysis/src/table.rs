@@ -1,0 +1,173 @@
+//! Result tables: aligned terminal output plus CSV files, with no
+//! dependency beyond the standard library.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple rectangular result table.
+///
+/// ```
+/// use gocast_analysis::Table;
+///
+/// let mut t = Table::new(["fanout", "p(all hear)"]);
+/// t.row(["5", "0.016"]);
+/// t.row(["15", "0.73"]);
+/// let text = t.to_string();
+/// assert!(text.contains("fanout"));
+/// assert_eq!(t.rows(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Writes the table as CSV (header row first). Cells containing commas
+    /// or quotes are quoted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from creating or writing the file.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        writeln!(
+            f,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (c, w) in cells.iter().zip(&widths) {
+                parts.push(format!("{c:>w$}"));
+            }
+            writeln!(f, "  {}", parts.join("  "))
+        };
+        line(f, &self.headers)?;
+        let total = widths.iter().sum::<usize>() + 2 * widths.len() + 2;
+        writeln!(f, "  {}", "-".repeat(total.saturating_sub(4)))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration as fractional seconds with millisecond precision.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn fmt_ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new(["a", "long_header"]);
+        t.row(["1", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[2].trim().starts_with('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_escaping() {
+        let dir = std::env::temp_dir().join("gocast-analysis-test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new(["x", "note"]);
+        t.row(["1", "plain"]);
+        t.row(["2", "has,comma"]);
+        t.row(["3", "has\"quote"]);
+        t.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("x,note\n"));
+        assert!(text.contains("\"has,comma\""));
+        assert!(text.contains("\"has\"\"quote\""));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_secs(Duration::from_millis(1234)), "1.234");
+        assert_eq!(fmt_ms(Duration::from_micros(15500)), "15.50");
+    }
+}

@@ -1,0 +1,92 @@
+//! Analytic reliability model for push-based gossip (paper Figure 1).
+//!
+//! In an `n`-node push-gossip system with fanout `F`, the probability that
+//! *all* nodes hear about a given message is `exp(-exp(ln n - F))` [6]; for
+//! `m` independent messages it is that probability raised to the `m`-th
+//! power, i.e. `exp(-m * exp(ln n - F))`.
+
+/// Probability that every node in an `n`-node push-gossip system with
+/// fanout `fanout` hears about one message.
+///
+/// ```
+/// use gocast_baselines::prob_all_nodes_hear;
+///
+/// // The paper's Figure 1: at n = 1024 low fanouts are hopeless, high
+/// // fanouts approach certainty.
+/// assert!(prob_all_nodes_hear(1024, 5.0) < 0.1);
+/// assert!(prob_all_nodes_hear(1024, 20.0) > 0.999);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn prob_all_nodes_hear(n: usize, fanout: f64) -> f64 {
+    assert!(n > 0, "need at least one node");
+    (-((n as f64).ln() - fanout).exp()).exp()
+}
+
+/// Probability that every node hears about all of `messages` independent
+/// messages (Figure 1's second curve, with `messages` = 1000).
+pub fn prob_all_nodes_hear_all(n: usize, fanout: f64, messages: u64) -> f64 {
+    assert!(n > 0, "need at least one node");
+    (-(messages as f64) * ((n as f64).ln() - fanout).exp()).exp()
+}
+
+/// Expected fraction of nodes that never hear about a message: with
+/// fanout `F` each node receives the gossip a `Poisson(F)`-distributed
+/// number of times, so the miss fraction is `exp(-F)` (the paper observes
+/// ~0.7% at F = 5, which is `e^-5 ≈ 0.0067`).
+pub fn expected_miss_fraction(fanout: f64) -> f64 {
+    (-fanout).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_message_matches_closed_form() {
+        let n = 1024;
+        for f in [5.0_f64, 10.0, 15.0] {
+            let expect = (-(((n as f64).ln() - f).exp())).exp();
+            assert!((prob_all_nodes_hear(n, f) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn thousand_messages_is_single_to_the_1000() {
+        let p1 = prob_all_nodes_hear(1024, 12.0);
+        let p1000 = prob_all_nodes_hear_all(1024, 12.0, 1000);
+        assert!((p1000 - p1.powi(1000)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_figure1_shape() {
+        // "Even without any fault ... the probability that all nodes
+        // receive 1,000 messages is lower than 0.5 when the fanout is
+        // smaller than 15" — the analytic crossover sits at F ≈ 14.2.
+        assert!(prob_all_nodes_hear_all(1024, 14.0, 1000) < 0.5);
+        assert!(prob_all_nodes_hear_all(1024, 15.0, 1000) > 0.5);
+        // Monotone in fanout.
+        let mut prev = 0.0;
+        for f in 4..=20 {
+            let p = prob_all_nodes_hear(1024, f as f64);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn miss_fraction_near_paper_value() {
+        // Paper: "with fanout 5, about 0.7% of nodes ... never hear about
+        // a given message".
+        let f = expected_miss_fraction(5.0);
+        assert!((f - 0.0067).abs() < 0.001, "got {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = prob_all_nodes_hear(0, 5.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gocast-baselines — comparison protocols from the GoCast paper
+//!
+//! The paper evaluates GoCast against four alternatives (§3):
+//!
+//! - **gossip** — push-based gossip multicast à la Bimodal Multicast:
+//!   [`PushGossipNode`] with [`PushGossipConfig::default`] (fanout 5,
+//!   period 0.1 s);
+//! - **no-wait gossip** — the same but gossiping immediately on reception:
+//!   [`PushGossipConfig::no_wait`];
+//! - **proximity overlay** — the GoCast overlay with gossip-only
+//!   dissemination: [`gocast::GoCastConfig::proximity_overlay`] (lives in
+//!   the core crate, since it *is* GoCast minus the tree);
+//! - **random overlay** — 6 random neighbors, gossip-only:
+//!   [`gocast::GoCastConfig::random_overlay`].
+//!
+//! This crate also carries the closed-form gossip reliability model behind
+//! the paper's Figure 1 ([`prob_all_nodes_hear`],
+//! [`prob_all_nodes_hear_all`]).
+//!
+//! Baselines reuse [`gocast::GoCastEvent`] and [`gocast::GoCastCommand`],
+//! so the same recorders and analysis pipelines work across protocols.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analytic;
+mod push_gossip;
+
+pub use analytic::{expected_miss_fraction, prob_all_nodes_hear, prob_all_nodes_hear_all};
+pub use push_gossip::{PushGossipConfig, PushGossipMsg, PushGossipNode};

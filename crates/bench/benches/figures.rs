@@ -1,0 +1,186 @@
+//! One benchmark per paper figure / claim, running the exact experiment
+//! functions behind `gocast-experiments` at reduced scale. Each bench both
+//! times the experiment and regenerates its (scaled) series — the
+//! full-scale numbers recorded in EXPERIMENTS.md come from
+//! `gocast-experiments all`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gocast::GoCastConfig;
+use gocast_baselines::PushGossipConfig;
+use gocast_bench::bench_opts;
+use gocast_experiments::{figures, runners, Proto};
+
+fn fig1_gossip_reliability(c: &mut Criterion) {
+    // Analytic part only in the hot loop; the empirical run is covered by
+    // fig3-style delay benches.
+    c.bench_function("fig1_gossip_reliability", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in 4..=20 {
+                acc += gocast_baselines::prob_all_nodes_hear_all(1024, f as f64, 1000);
+            }
+            acc
+        })
+    });
+}
+
+fn fig3_delay_cdf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_delay_cdf");
+    g.sample_size(10);
+    let opts = bench_opts(64, 11);
+    g.bench_function("gocast_64", |b| {
+        b.iter(|| runners::run_delay(&opts, Proto::GoCast(GoCastConfig::default()), 0.0).pulls)
+    });
+    g.bench_function("gossip_f5_64", |b| {
+        b.iter(|| {
+            runners::run_delay(&opts, Proto::PushGossip(PushGossipConfig::default()), 0.0).pulls
+        })
+    });
+    g.bench_function("gocast_64_20pct_failed", |b| {
+        b.iter(|| runners::run_delay(&opts, Proto::GoCast(GoCastConfig::default()), 0.2).pulls)
+    });
+    g.finish();
+}
+
+fn fig4_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_scalability");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        let opts = bench_opts(n, 12);
+        g.bench_function(format!("gocast_n{n}"), |b| {
+            b.iter(|| {
+                runners::run_delay(&opts, Proto::GoCast(GoCastConfig::default()), 0.0)
+                    .per_node_avg
+                    .mean()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig5_adaptation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_adaptation");
+    g.sample_size(10);
+    let opts = bench_opts(64, 13);
+    g.bench_function("adapt_and_snapshot_64", |b| {
+        b.iter(|| {
+            let res =
+                runners::run_adaptation(&opts, &GoCastConfig::default(), &[0, 5, 15], 15);
+            (res.mean_degree, res.latency_series.len())
+        })
+    });
+    g.finish();
+}
+
+fn fig6_resilience(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_resilience");
+    g.sample_size(10);
+    let opts = bench_opts(96, 14);
+    let res = runners::run_adaptation(&opts, &GoCastConfig::default(), &[], 0);
+    g.bench_function("q_sweep_96", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for f in [0.05, 0.25, 0.5] {
+                total += runners::resilience_q(&res.final_snapshot, f, 5, 14);
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn ext4_link_stress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext4_link_stress");
+    g.sample_size(10);
+    // Route a synthetic traffic matrix through the AS topology.
+    let topo = gocast_net::AsTopology::preferential_attachment(64, 2, 256, 15);
+    g.bench_function("stress_accumulate_10k_pairs", |b| {
+        b.iter(|| {
+            let mut stress = gocast_net::LinkStress::new();
+            for i in 0..10_000u32 {
+                stress.accumulate(&topo, i % 256, (i * 7 + 13) % 256, 1024);
+            }
+            stress.max()
+        })
+    });
+    g.finish();
+}
+
+fn ext5_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext5_fanout");
+    g.sample_size(10);
+    let opts = bench_opts(64, 16);
+    for fanout in [5usize, 15] {
+        g.bench_function(format!("gossip_f{fanout}_64"), |b| {
+            b.iter(|| {
+                runners::run_delay(
+                    &opts,
+                    Proto::PushGossip(PushGossipConfig::default().with_fanout(fanout)),
+                    0.0,
+                )
+                .incomplete_nodes
+            })
+        });
+    }
+    g.finish();
+}
+
+fn txt1_redundancy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txt1_redundancy");
+    g.sample_size(10);
+    let opts = bench_opts(64, 17);
+    g.bench_function("pull_delay_300ms_64", |b| {
+        b.iter(|| {
+            runners::run_delay(
+                &opts,
+                Proto::GoCast(
+                    GoCastConfig::default().with_pull_delay(Duration::from_millis(300)),
+                ),
+                0.0,
+            )
+            .redundancy
+        })
+    });
+    g.finish();
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let opts = bench_opts(64, 18);
+    g.bench_function("aggressive_drop_64", |b| {
+        b.iter(|| {
+            let cfg = GoCastConfig {
+                aggressive_drop: true,
+                ..Default::default()
+            };
+            let res = runners::run_adaptation(&opts, &cfg, &[], 0);
+            res.link_changes_per_sec.iter().sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+// Regenerate the scaled figure tables once at the end so `cargo bench`
+// output contains the series themselves, not just timings.
+fn print_scaled_figures(c: &mut Criterion) {
+    let opts = bench_opts(96, 19);
+    println!("\n==== scaled figure regeneration (bench-sized; see EXPERIMENTS.md for full scale) ====\n");
+    figures::fig1(&opts);
+    figures::fig3(&opts, 0.0);
+    figures::txt2(&opts);
+    let _ = c;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = fig1_gossip_reliability, fig3_delay_cdf, fig4_scalability, fig5_adaptation,
+              fig6_resilience, ext4_link_stress, ext5_fanout, txt1_redundancy, ablations,
+              print_scaled_figures
+}
+criterion_main!(benches);

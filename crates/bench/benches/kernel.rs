@@ -1,0 +1,164 @@
+//! Microbenchmarks for the simulation kernel and analysis hot paths.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gocast::{GoCastConfig, GoCastNode};
+use gocast_analysis::{diameter, largest_component_fraction, Cdf};
+use gocast_net::{king_like, synthetic_king, SyntheticKingConfig};
+use gocast_sim::{EventQueue, LatencyModel, NodeId, SimBuilder, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter_batched(
+            || {
+                (0..10_000u64)
+                    .map(|_| SimTime::from_nanos(rng.gen_range(0..1_000_000)))
+                    .collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.into_iter().enumerate() {
+                    q.schedule(t, i);
+                }
+                let mut out = 0usize;
+                while q.pop().is_some() {
+                    out += 1;
+                }
+                out
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_latency_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_model");
+    let net = king_like(1024, 3);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("king_lookup_100k", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = Duration::ZERO;
+            for _ in 0..100_000 {
+                let a = NodeId::new(rng.gen_range(0..1024));
+                let bn = NodeId::new(rng.gen_range(0..1024));
+                acc += net.one_way(a, bn);
+            }
+            acc
+        })
+    });
+    g.bench_function("king_build_256_sites", |b| {
+        b.iter(|| {
+            synthetic_king(
+                256,
+                &SyntheticKingConfig {
+                    sites: 256,
+                    seed: 4,
+                    ..Default::default()
+                },
+            )
+            .mean_site_latency()
+        })
+    });
+    g.finish();
+}
+
+fn bench_gocast_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gocast_sim");
+    g.sample_size(10);
+    // Cost of simulating one second of a 128-node overlay in steady state.
+    g.bench_function("steady_state_second_128", |b| {
+        let mut boot = gocast::bootstrap_random_graph(128, 3, 5);
+        let net = synthetic_king(
+            128,
+            &SyntheticKingConfig {
+                sites: 128,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let mut sim = SimBuilder::new(net).seed(5).build(|id| {
+            let (links, members) = boot(id);
+            GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+        });
+        sim.run_until(SimTime::from_secs(30));
+        b.iter(|| {
+            sim.run_for(Duration::from_secs(1));
+            sim.now()
+        })
+    });
+    // Cohort boot + first five seconds (heavy adaptation phase).
+    g.bench_function("adaptation_burst_64", |b| {
+        b.iter_batched(
+            || {
+                let mut boot = gocast::bootstrap_random_graph(64, 3, 6);
+                let net = synthetic_king(
+                    64,
+                    &SyntheticKingConfig {
+                        sites: 64,
+                        seed: 6,
+                        ..Default::default()
+                    },
+                );
+                SimBuilder::new(net).seed(6).build(|id| {
+                    let (links, members) = boot(id);
+                    GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+                })
+            },
+            |mut sim| {
+                sim.run_until(SimTime::from_secs(5));
+                sim.now()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    // Degree-6 random graph, 1024 nodes.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let n = 1024usize;
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for _ in 0..3 {
+            let j = rng.gen_range(0..n);
+            if i != j {
+                adj[i].push(j as u32);
+                adj[j].push(i as u32);
+            }
+        }
+    }
+    let alive = vec![true; n];
+    g.bench_function("components_1024", |b| {
+        b.iter(|| largest_component_fraction(&adj, &alive))
+    });
+    g.bench_function("diameter_1024", |b| b.iter(|| diameter(&adj, &alive)));
+    g.bench_function("cdf_build_100k", |b| {
+        let vals: Vec<Duration> = (0..100_000u64)
+            .map(|i| Duration::from_nanos(i * 7919 % 1_000_000))
+            .collect();
+        b.iter(|| {
+            let c = Cdf::from_durations(vals.iter().copied());
+            c.percentile(0.99)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_event_queue, bench_latency_models, bench_gocast_sim, bench_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! # gocast-bench — benchmark harness
+//!
+//! Criterion benches live in `benches/`:
+//!
+//! - `figures` — one benchmark per paper figure, running the same
+//!   experiment functions as the `gocast-experiments` binary at reduced
+//!   scale (the full-scale runs are reproduced by
+//!   `gocast-experiments all`; these benches track the *cost* of each
+//!   experiment and print its headline numbers);
+//! - `kernel` — microbenchmarks of the hot paths: event queue, simulation
+//!   stepping, latency model lookups, and the analysis primitives.
+//!
+//! This library only exposes tiny option presets shared by the benches.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use gocast_experiments::ExpOptions;
+
+/// Bench-scale options: small enough that a single experiment iteration
+/// stays in the tens-of-milliseconds to low-seconds range.
+pub fn bench_opts(nodes: usize, seed: u64) -> ExpOptions {
+    let mut o = ExpOptions::quick().with_seed(seed);
+    o.nodes = nodes;
+    o.sites = nodes.max(32);
+    o.warmup = Duration::from_secs(15);
+    o.messages = 10;
+    o.rate = 10.0;
+    o.drain = Duration::from_secs(10);
+    o.out_dir = None;
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_opts_are_small() {
+        let o = bench_opts(64, 1);
+        assert_eq!(o.nodes, 64);
+        assert!(o.warmup <= Duration::from_secs(15));
+        assert!(o.out_dir.is_none());
+    }
+}

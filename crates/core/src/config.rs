@@ -1,0 +1,310 @@
+//! Protocol configuration.
+//!
+//! Defaults follow Section 3 of the paper: gossip period `t` = 0.1 s,
+//! maintenance period `r` = 0.1 s, target degrees `C_rand` = 1 and
+//! `C_near` = 5, GC wait `b` = 2 min, root heartbeat every 15 s.
+
+use std::time::Duration;
+
+use gocast_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a GoCast node.
+///
+/// Build one with [`GoCastConfig::default`] and adjust fields through the
+/// builder-style setters, or use the presets [`GoCastConfig::proximity_overlay`]
+/// and [`GoCastConfig::random_overlay`] that reproduce the paper's
+/// simplified comparison protocols.
+///
+/// ```
+/// use gocast::GoCastConfig;
+/// use std::time::Duration;
+///
+/// let cfg = GoCastConfig::default()
+///     .with_pull_delay(Duration::from_millis(300))
+///     .with_payload_size(512);
+/// cfg.validate().unwrap();
+/// assert_eq!(cfg.c_rand + cfg.c_near, 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoCastConfig {
+    /// Target number of random neighbors (`C_rand`, paper default 1).
+    pub c_rand: usize,
+    /// Target number of nearby neighbors (`C_near`, paper default 5).
+    pub c_near: usize,
+    /// Acceptance slack: a node accepts a new link while its degree is
+    /// below `target + degree_slack` (paper: 5).
+    pub degree_slack: usize,
+    /// Gossip period `t` (paper: 0.1 s).
+    pub gossip_period: Duration,
+    /// Overlay maintenance period `r` (paper: 0.1 s).
+    pub maintenance_period: Duration,
+    /// How long a node keeps a message after last gossiping its ID
+    /// (`b`, paper: 2 min).
+    pub gc_wait: Duration,
+    /// Delay before pulling a message first heard via gossip (`f`).
+    /// `Duration::ZERO` disables the optimization (paper evaluates both 0
+    /// and 0.3 s).
+    pub pull_delay: Duration,
+    /// Retry interval when a pull request goes unanswered.
+    pub pull_timeout: Duration,
+    /// Root heartbeat / tree refresh period (paper: 15 s).
+    pub heartbeat_period: Duration,
+    /// Heartbeats missed before suspecting the root.
+    pub heartbeat_timeout_factor: u32,
+    /// Whether to build and use the embedded tree. Disabled for the
+    /// paper's "proximity overlay" / "random overlay" comparison variants.
+    pub tree_enabled: bool,
+    /// Idle neighbor timeout: a neighbor silent this long is considered
+    /// failed and its link dropped (only while maintenance is active).
+    pub neighbor_timeout: Duration,
+    /// Capacity of the partial membership view.
+    pub member_view_capacity: usize,
+    /// Random member addresses piggybacked per gossip.
+    pub members_per_gossip: usize,
+    /// Maximum interval between gossips to a neighbor even when there are
+    /// no message IDs to report (keeps membership and liveness flowing).
+    pub idle_gossip_interval: Duration,
+    /// Number of landmark nodes used for latency estimation (the first
+    /// `landmark_count` node ids act as landmarks).
+    pub landmark_count: usize,
+    /// Wire size of a multicast payload in bytes (accounting only).
+    pub payload_size: u32,
+    /// The initial tree root ("the first node in the overlay").
+    pub root: NodeId,
+    /// Ablation: enforce condition C4 (`RTT(X,Q) <= RTT(X,U)/2`) when
+    /// replacing nearby neighbors (paper: on).
+    pub c4_enabled: bool,
+    /// Ablation: C1 lower bound offset. A neighbor `U` may be replaced or
+    /// dropped only if `D_near(U) >= C_near - c1_offset`. The paper uses 1
+    /// and reports that 0 dramatically worsens link latency.
+    pub c1_offset: usize,
+    /// Ablation: drop surplus nearby links already at `C_near + 1` instead
+    /// of the paper's `C_near + 2` (paper reports ~1/3 more link changes).
+    pub aggressive_drop: bool,
+    /// Future-work feature (§2.1): adapt the gossip period to the message
+    /// rate — back off exponentially while there is nothing to summarize
+    /// (up to [`GoCastConfig::idle_gossip_interval`]) and snap back to
+    /// `gossip_period` the moment a message arrives.
+    pub adaptive_gossip: bool,
+    /// Future-work feature (§2.2.3): adapt the maintenance period to the
+    /// stability of the overlay — back off exponentially while no link
+    /// changes and no degree deficit are observed, up to
+    /// `max_maintenance_period`.
+    pub adaptive_maintenance: bool,
+    /// Upper bound for the adaptive maintenance period.
+    pub max_maintenance_period: Duration,
+}
+
+impl Default for GoCastConfig {
+    fn default() -> Self {
+        GoCastConfig {
+            c_rand: 1,
+            c_near: 5,
+            degree_slack: 5,
+            gossip_period: Duration::from_millis(100),
+            maintenance_period: Duration::from_millis(100),
+            gc_wait: Duration::from_secs(120),
+            pull_delay: Duration::ZERO,
+            pull_timeout: Duration::from_secs(2),
+            heartbeat_period: Duration::from_secs(15),
+            heartbeat_timeout_factor: 3,
+            tree_enabled: true,
+            neighbor_timeout: Duration::from_secs(10),
+            member_view_capacity: 128,
+            members_per_gossip: 3,
+            idle_gossip_interval: Duration::from_secs(1),
+            landmark_count: 8,
+            payload_size: 1024,
+            root: NodeId::new(0),
+            c4_enabled: true,
+            c1_offset: 1,
+            aggressive_drop: false,
+            adaptive_gossip: false,
+            adaptive_maintenance: false,
+            max_maintenance_period: Duration::from_secs(2),
+        }
+    }
+}
+
+impl GoCastConfig {
+    /// The paper's "proximity overlay" comparison protocol: the GoCast
+    /// overlay (1 random + 5 nearby) but dissemination through gossip only,
+    /// no tree.
+    pub fn proximity_overlay() -> Self {
+        GoCastConfig {
+            tree_enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "random overlay" comparison protocol: 6 random
+    /// neighbors, gossip-only dissemination, no proximity adaptation,
+    /// no tree.
+    pub fn random_overlay() -> Self {
+        GoCastConfig {
+            c_rand: 6,
+            c_near: 0,
+            tree_enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Target total node degree (`C_degree = C_rand + C_near`).
+    pub fn c_degree(&self) -> usize {
+        self.c_rand + self.c_near
+    }
+
+    /// Sets the pull delay `f` (builder style).
+    pub fn with_pull_delay(mut self, f: Duration) -> Self {
+        self.pull_delay = f;
+        self
+    }
+
+    /// Sets the target degrees (builder style).
+    pub fn with_degrees(mut self, c_rand: usize, c_near: usize) -> Self {
+        self.c_rand = c_rand;
+        self.c_near = c_near;
+        self
+    }
+
+    /// Sets the payload size (builder style).
+    pub fn with_payload_size(mut self, bytes: u32) -> Self {
+        self.payload_size = bytes;
+        self
+    }
+
+    /// Sets the tree root (builder style).
+    pub fn with_root(mut self, root: NodeId) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a field combination cannot work (zero
+    /// total degree, zero periods, or a zero view capacity).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.c_degree() == 0 {
+            return Err(ConfigError::ZeroDegree);
+        }
+        if self.gossip_period.is_zero() || self.maintenance_period.is_zero() {
+            return Err(ConfigError::ZeroPeriod);
+        }
+        if self.member_view_capacity == 0 {
+            return Err(ConfigError::ZeroViewCapacity);
+        }
+        if self.heartbeat_timeout_factor == 0 {
+            return Err(ConfigError::ZeroHeartbeatFactor);
+        }
+        Ok(())
+    }
+}
+
+/// An invalid [`GoCastConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `c_rand + c_near == 0`: the node could never have a neighbor.
+    ZeroDegree,
+    /// A protocol period is zero; timers would spin forever.
+    ZeroPeriod,
+    /// The membership view cannot hold any entry.
+    ZeroViewCapacity,
+    /// The root would be suspected immediately.
+    ZeroHeartbeatFactor,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDegree => write!(f, "target node degree is zero"),
+            ConfigError::ZeroPeriod => write!(f, "gossip or maintenance period is zero"),
+            ConfigError::ZeroViewCapacity => write!(f, "member view capacity is zero"),
+            ConfigError::ZeroHeartbeatFactor => {
+                write!(f, "heartbeat timeout factor is zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GoCastConfig::default();
+        assert_eq!(c.c_rand, 1);
+        assert_eq!(c.c_near, 5);
+        assert_eq!(c.c_degree(), 6);
+        assert_eq!(c.gossip_period, Duration::from_millis(100));
+        assert_eq!(c.maintenance_period, Duration::from_millis(100));
+        assert_eq!(c.gc_wait, Duration::from_secs(120));
+        assert_eq!(c.heartbeat_period, Duration::from_secs(15));
+        assert!(c.tree_enabled);
+        assert!(c.c4_enabled);
+        assert_eq!(c.c1_offset, 1);
+        assert!(!c.aggressive_drop);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_match_paper_variants() {
+        let p = GoCastConfig::proximity_overlay();
+        assert!(!p.tree_enabled);
+        assert_eq!((p.c_rand, p.c_near), (1, 5));
+        p.validate().unwrap();
+
+        let r = GoCastConfig::random_overlay();
+        assert!(!r.tree_enabled);
+        assert_eq!((r.c_rand, r.c_near), (6, 0));
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let c = GoCastConfig::default().with_degrees(0, 0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroDegree));
+
+        let c = GoCastConfig {
+            gossip_period: Duration::ZERO,
+            ..Default::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPeriod));
+
+        let c = GoCastConfig {
+            member_view_capacity: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroViewCapacity));
+
+        let c = GoCastConfig {
+            heartbeat_timeout_factor: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroHeartbeatFactor));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_prose() {
+        assert_eq!(ConfigError::ZeroDegree.to_string(), "target node degree is zero");
+    }
+
+    #[test]
+    fn builder_setters_chain() {
+        let c = GoCastConfig::default()
+            .with_degrees(2, 4)
+            .with_payload_size(9)
+            .with_root(NodeId::new(5))
+            .with_pull_delay(Duration::from_millis(1));
+        assert_eq!(c.c_rand, 2);
+        assert_eq!(c.c_near, 4);
+        assert_eq!(c.payload_size, 9);
+        assert_eq!(c.root, NodeId::new(5));
+        assert_eq!(c.pull_delay, Duration::from_millis(1));
+    }
+}

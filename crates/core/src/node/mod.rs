@@ -1,0 +1,538 @@
+//! The GoCast node state machine.
+//!
+//! One [`GoCastNode`] per participant. The state machine is split across
+//! submodules by protocol role:
+//!
+//! - [`dissemination`]: tree push, neighbor gossip, pulls, GC (paper §2.1);
+//! - [`neighbors`]: the overlay link table and link handshakes (§2.2);
+//! - [`maintenance`]: random/nearby degree maintenance, C1–C4 (§2.2.2–2.2.3);
+//! - [`tree`]: the embedded shortest-path tree and root failover (§2.3);
+//! - [`join`]: bootstrap, landmark probing, and the join protocol (§2.2.1).
+
+mod dissemination;
+mod join;
+mod maintenance;
+mod neighbors;
+mod tree;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Duration;
+
+use gocast_membership::MemberView;
+use gocast_net::LandmarkVector;
+use gocast_sim::{Ctx, NodeId, Protocol, SimTime, Timer};
+use rand::Rng;
+
+use crate::config::GoCastConfig;
+use crate::types::{DegreeInfo, GoCastEvent, LinkKind, MsgId};
+use crate::wire::GoCastMsg;
+
+pub(crate) use neighbors::Neighbor;
+pub(crate) use tree::TreeState;
+
+/// Timer kinds (the `kind` field of [`Timer`]).
+pub(crate) mod timers {
+    /// Periodic gossip tick (period `t`).
+    pub const GOSSIP: u32 = 1;
+    /// Periodic overlay maintenance tick (period `r`).
+    pub const MAINTENANCE: u32 = 2;
+    /// Periodic heartbeat emission (root only acts).
+    pub const HEARTBEAT: u32 = 3;
+    /// Periodic message-store garbage collection.
+    pub const GC: u32 = 4;
+    /// Delayed pull for one message (`a` = origin, `b` = seq).
+    pub const PULL_DELAY: u32 = 5;
+    /// Pull retry for one message (`a` = origin, `b` = seq).
+    pub const PULL_TIMEOUT: u32 = 6;
+    /// Send the next landmark probe (`a` = landmark index).
+    pub const LANDMARK: u32 = 7;
+    /// Periodic root liveness check.
+    pub const ROOT_CHECK: u32 = 8;
+}
+
+/// A multicast message held in the store.
+#[derive(Debug, Clone)]
+pub(crate) struct Stored {
+    /// When this node received it.
+    pub received_at: SimTime,
+    /// Its age (µs since injection) at the moment of reception.
+    pub age_at_receive_us: u64,
+    /// Neighbors this node heard the ID from (excluded from gossips to
+    /// them, and never re-offered the payload).
+    pub heard_from: Vec<NodeId>,
+    /// Payload size (bytes).
+    pub size: u32,
+}
+
+impl Stored {
+    /// The message's age at simulated time `now`.
+    pub fn age_at(&self, now: SimTime) -> u64 {
+        self.age_at_receive_us + now.saturating_since(self.received_at).as_micros() as u64
+    }
+}
+
+/// A message known (via gossip) but not yet received.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    /// When the first gossip mentioning it arrived.
+    pub heard_at: SimTime,
+    /// Neighbors known to hold the message.
+    pub candidates: Vec<NodeId>,
+    /// The neighbor currently asked for the payload, if any.
+    pub requested_from: Option<NodeId>,
+}
+
+/// An in-flight outgoing link request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingLink {
+    pub peer: NodeId,
+    pub sent_at: SimTime,
+    /// RTT to `peer` measured by the preceding probe (nearby links).
+    pub rtt_us: Option<u64>,
+    /// Nearby neighbor to drop if the request is accepted (replacement).
+    pub replace: Option<NodeId>,
+}
+
+/// The GoCast protocol state machine for one node.
+///
+/// Drive it with [`gocast_sim::Sim`]; interrogate it between runs through
+/// the read-only accessors ([`GoCastNode::degrees`],
+/// [`GoCastNode::tree_parent`], ...).
+#[derive(Debug)]
+pub struct GoCastNode {
+    pub(crate) cfg: GoCastConfig,
+    pub(crate) id: NodeId,
+    /// This node's degree targets — `cfg.c_rand`/`cfg.c_near` scaled by
+    /// the node's capacity factor (1 by default).
+    pub(crate) c_rand: usize,
+    pub(crate) c_near: usize,
+    pub(crate) joined: bool,
+    pub(crate) frozen: bool,
+    /// Links seeded before start (symmetric; typed nearby).
+    pub(crate) initial_links: Vec<NodeId>,
+    /// Members seeded before start.
+    pub(crate) initial_members: Vec<NodeId>,
+    pub(crate) view: MemberView,
+    pub(crate) coords: LandmarkVector,
+    pub(crate) coord_cache: HashMap<NodeId, LandmarkVector>,
+    pub(crate) neighbors: BTreeMap<NodeId, Neighbor>,
+    pub(crate) pending_link: Option<PendingLink>,
+    pub(crate) pending_rand_link: Option<PendingLink>,
+    /// Next multicast sequence number.
+    pub(crate) next_seq: u32,
+    pub(crate) store: HashMap<MsgId, Stored>,
+    /// Reception order, for windowed gossip construction.
+    pub(crate) recent: VecDeque<(MsgId, SimTime)>,
+    pub(crate) pending_pulls: BTreeMap<MsgId, Pending>,
+    /// Round-robin cursor over `neighbors` for gossip.
+    pub(crate) gossip_cursor: Option<NodeId>,
+    /// Candidate probe order (estimated-latency ascending), then cursor.
+    pub(crate) probe_queue: Vec<NodeId>,
+    pub(crate) probe_cursor: usize,
+    pub(crate) probe_queue_built: bool,
+    pub(crate) tree: TreeState,
+    /// Adaptive-period state (future-work features): consecutive empty
+    /// gossip ticks, a generation counter to cancel slowed-down gossip
+    /// timers, and consecutive quiet maintenance cycles.
+    pub(crate) gossip_backoff: u32,
+    pub(crate) gossip_gen: u32,
+    pub(crate) maint_backoff: u32,
+    // Counters exposed to analysis.
+    pub(crate) delivered: u64,
+    pub(crate) redundant: u64,
+    pub(crate) link_changes: u64,
+}
+
+impl GoCastNode {
+    /// Creates a node that bootstraps from `members` (its initial partial
+    /// view) with no pre-established links; it will join through the
+    /// overlay maintenance protocols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GoCastConfig::validate`].
+    pub fn new(id: NodeId, cfg: GoCastConfig, members: Vec<NodeId>) -> Self {
+        Self::with_initial_links(id, cfg, Vec::new(), members)
+    }
+
+    /// Creates a node with pre-established overlay links (the paper's
+    /// experiments start from a random graph where "each node initiates
+    /// connections to `C_degree`/2 random nodes"). `links` must be
+    /// symmetric across nodes; they are typed *nearby* and adapted from
+    /// there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GoCastConfig::validate`].
+    pub fn with_initial_links(
+        id: NodeId,
+        cfg: GoCastConfig,
+        links: Vec<NodeId>,
+        members: Vec<NodeId>,
+    ) -> Self {
+        Self::with_capacity(id, cfg, links, members, 1)
+    }
+
+    /// Creates a node whose degree targets are scaled by `capacity`: a
+    /// capacity-2 node aims for `2 * C_rand` random and `2 * C_near`
+    /// nearby neighbors, carrying proportionally more gossip and tree
+    /// fan-out (the capacity extension sketched in §2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GoCastConfig::validate`] or if
+    /// `capacity == 0`.
+    pub fn with_capacity(
+        id: NodeId,
+        cfg: GoCastConfig,
+        links: Vec<NodeId>,
+        members: Vec<NodeId>,
+        capacity: usize,
+    ) -> Self {
+        cfg.validate().expect("invalid GoCast configuration");
+        assert!(capacity > 0, "capacity must be positive");
+        let view = MemberView::new(id, cfg.member_view_capacity);
+        let tree = TreeState::new(cfg.root);
+        let c_rand = cfg.c_rand * capacity;
+        let c_near = cfg.c_near * capacity;
+        GoCastNode {
+            cfg,
+            id,
+            c_rand,
+            c_near,
+            joined: false,
+            frozen: false,
+            initial_links: links,
+            initial_members: members,
+            view,
+            coords: LandmarkVector::unknown(),
+            coord_cache: HashMap::new(),
+            neighbors: BTreeMap::new(),
+            pending_link: None,
+            pending_rand_link: None,
+            next_seq: 0,
+            store: HashMap::new(),
+            recent: VecDeque::new(),
+            pending_pulls: BTreeMap::new(),
+            gossip_cursor: None,
+            probe_queue: Vec::new(),
+            probe_cursor: 0,
+            probe_queue_built: false,
+            tree,
+            gossip_backoff: 0,
+            gossip_gen: 0,
+            maint_backoff: 0,
+            delivered: 0,
+            redundant: 0,
+            link_changes: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only accessors (analysis / harness).
+    // ------------------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GoCastConfig {
+        &self.cfg
+    }
+
+    /// Current random/nearby degrees plus this node's targets.
+    pub fn degrees(&self) -> DegreeInfo {
+        let mut d = DegreeInfo {
+            t_rand: self.c_rand as u16,
+            t_near: self.c_near as u16,
+            ..DegreeInfo::default()
+        };
+        for n in self.neighbors.values() {
+            match n.kind {
+                LinkKind::Random => d.d_rand += 1,
+                LinkKind::Nearby => d.d_near += 1,
+            }
+        }
+        d
+    }
+
+    /// This node's (possibly capacity-scaled) degree targets
+    /// `(C_rand, C_near)`.
+    pub fn degree_targets(&self) -> (usize, usize) {
+        (self.c_rand, self.c_near)
+    }
+
+    /// Iterates over `(peer, kind, measured RTT)` for every overlay link.
+    pub fn overlay_links(
+        &self,
+    ) -> impl Iterator<Item = (NodeId, LinkKind, Option<Duration>)> + '_ {
+        self.neighbors
+            .iter()
+            .map(|(&p, n)| (p, n.kind, n.rtt_us.map(Duration::from_micros)))
+    }
+
+    /// Whether `peer` is an overlay neighbor.
+    pub fn is_neighbor(&self, peer: NodeId) -> bool {
+        self.neighbors.contains_key(&peer)
+    }
+
+    /// The current tree parent (`None`: root or detached).
+    pub fn tree_parent(&self) -> Option<NodeId> {
+        self.tree.parent
+    }
+
+    /// Current tree children.
+    pub fn tree_children(&self) -> Vec<NodeId> {
+        self.neighbors
+            .iter()
+            .filter(|(_, n)| n.is_child)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Tree neighbors: parent plus children.
+    pub fn tree_neighbors(&self) -> Vec<NodeId> {
+        let mut v = self.tree_children();
+        if let Some(p) = self.tree.parent {
+            v.push(p);
+        }
+        v
+    }
+
+    /// The heartbeat wave sequence number this node last joined.
+    pub fn tree_seq(&self) -> u32 {
+        self.tree.seq
+    }
+
+    /// This node's latency distance to the root, if attached.
+    pub fn tree_distance(&self) -> Option<Duration> {
+        (self.tree.dist_us != u64::MAX).then(|| Duration::from_micros(self.tree.dist_us))
+    }
+
+    /// Whether this node currently believes it is the tree root.
+    pub fn is_root(&self) -> bool {
+        self.tree.root == self.id
+    }
+
+    /// The root this node currently follows.
+    pub fn current_root(&self) -> NodeId {
+        self.tree.root
+    }
+
+    /// Whether this node has received (or injected) `id`.
+    pub fn has_message(&self, id: MsgId) -> bool {
+        self.store.contains_key(&id)
+    }
+
+    /// Messages delivered to this node (first receptions, injections
+    /// excluded).
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Redundant full-payload receptions.
+    pub fn redundant_count(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Total link additions + removals this node performed.
+    pub fn link_change_count(&self) -> u64 {
+        self.link_changes
+    }
+
+    /// The membership view.
+    pub fn member_view(&self) -> &MemberView {
+        &self.view
+    }
+
+    /// This node's landmark coordinates.
+    pub fn coords(&self) -> &LandmarkVector {
+        &self.coords
+    }
+
+    /// Whether maintenance has been frozen by
+    /// [`GoCastCommand::FreezeMaintenance`].
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Whether this node has completed bootstrapping (always true for
+    /// nodes started with the full cohort; joining nodes flip it when the
+    /// join reply arrives).
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    // ------------------------------------------------------------------
+    // Shared internals.
+    // ------------------------------------------------------------------
+
+    /// Current time in µs (for wire timestamps).
+    pub(crate) fn now_us(ctx: &Ctx<'_, Self>) -> u64 {
+        ctx.now().as_nanos() / 1_000
+    }
+
+    /// Schedules a periodic timer with a small deterministic phase already
+    /// applied (the caller passes the delay).
+    pub(crate) fn arm(ctx: &mut Ctx<'_, Self>, delay: Duration, kind: u32) {
+        ctx.set_timer(delay, Timer::of_kind(kind));
+    }
+}
+
+/// Out-of-band commands injected by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoCastCommand {
+    /// Inject a new multicast message from this node.
+    Multicast,
+    /// Join the overlay through `contact` (runtime churn).
+    Join {
+        /// A node already in the overlay.
+        contact: NodeId,
+    },
+    /// Gracefully leave: drop all links and go quiet.
+    Leave,
+    /// Stop all repair activity (overlay maintenance, tree repair, failure
+    /// detection). Used by the paper's failure experiments, which measure
+    /// dissemination over the *unrepaired* overlay and tree.
+    FreezeMaintenance,
+}
+
+impl Protocol for GoCastNode {
+    type Msg = GoCastMsg;
+    type Command = GoCastCommand;
+    type Event = GoCastEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: GoCastMsg) {
+        if let Some(n) = self.neighbors.get_mut(&from) {
+            n.last_seen = ctx.now();
+        }
+        match msg {
+            GoCastMsg::Data { id, age_us, size } => self.on_data(ctx, from, id, age_us, size),
+            GoCastMsg::Gossip {
+                ids,
+                members,
+                coords,
+                degrees,
+            } => self.on_gossip(ctx, from, ids, members, coords, degrees),
+            GoCastMsg::PullRequest { ids } => self.on_pull_request(ctx, from, ids),
+            GoCastMsg::JoinRequest => self.on_join_request(ctx, from),
+            GoCastMsg::JoinReply { members } => self.on_join_reply(ctx, from, members),
+            GoCastMsg::Ping { kind, sent_at_us } => self.on_ping(ctx, from, kind, sent_at_us),
+            GoCastMsg::Pong {
+                kind,
+                sent_at_us,
+                degrees,
+                max_nearby_rtt_us,
+                coords,
+            } => self.on_pong(ctx, from, kind, sent_at_us, degrees, max_nearby_rtt_us, coords),
+            GoCastMsg::LinkRequest {
+                kind,
+                rtt_us,
+                degrees,
+            } => self.on_link_request(ctx, from, kind, rtt_us, degrees),
+            GoCastMsg::LinkAccept { kind, degrees } => {
+                self.on_link_accept(ctx, from, kind, degrees)
+            }
+            GoCastMsg::LinkReject { kind } => self.on_link_reject(ctx, from, kind),
+            GoCastMsg::LinkDrop { kind, reason } => self.on_link_drop(ctx, from, kind, reason),
+            GoCastMsg::ConnectTo { target } => self.on_connect_to(ctx, from, target),
+            GoCastMsg::TreeAd {
+                root,
+                epoch,
+                seq,
+                dist_us,
+            } => self.on_tree_ad(ctx, from, root, epoch, seq, dist_us),
+            GoCastMsg::ParentSelect { selected } => self.on_parent_select(ctx, from, selected),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {
+        match timer.kind {
+            timers::GOSSIP => self.on_gossip_tick(ctx, timer.a),
+            timers::MAINTENANCE => self.on_maintenance_tick(ctx),
+            timers::HEARTBEAT => self.on_heartbeat_tick(ctx),
+            timers::GC => self.on_gc_tick(ctx),
+            timers::PULL_DELAY => {
+                let id = MsgId::new(NodeId::new(timer.a), timer.b as u32);
+                self.on_pull_delay(ctx, id);
+            }
+            timers::PULL_TIMEOUT => {
+                let id = MsgId::new(NodeId::new(timer.a), timer.b as u32);
+                self.on_pull_timeout(ctx, id);
+            }
+            timers::LANDMARK => self.on_landmark_timer(ctx, timer.a as usize),
+            timers::ROOT_CHECK => self.on_root_check(ctx),
+            _ => debug_assert!(false, "unknown timer kind {}", timer.kind),
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_, Self>, cmd: GoCastCommand) {
+        match cmd {
+            GoCastCommand::Multicast => self.inject_multicast(ctx),
+            GoCastCommand::Join { contact } => self.start_join(ctx, contact),
+            GoCastCommand::Leave => self.leave(ctx),
+            GoCastCommand::FreezeMaintenance => self.frozen = true,
+        }
+    }
+}
+
+impl GoCastNode {
+    /// Startup: seed the view and links, arm the periodic timers with
+    /// deterministic per-node phase jitter (so 1,024 nodes don't all tick
+    /// on the same instant), and begin landmark probing.
+    fn start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.joined = true;
+        let members = std::mem::take(&mut self.initial_members);
+        for m in members {
+            self.view.insert(m, ctx.rng());
+        }
+        let links = std::mem::take(&mut self.initial_links);
+        for peer in links {
+            self.install_initial_link(ctx, peer);
+        }
+
+        let jitter = |ctx: &mut Ctx<'_, Self>, max: Duration| {
+            let us = ctx.rng().gen_range(0..max.as_micros().max(1) as u64);
+            Duration::from_micros(us)
+        };
+
+        let j = jitter(ctx, self.cfg.gossip_period);
+        ctx.set_timer(j, Timer::with_payload(timers::GOSSIP, self.gossip_gen, 0));
+        let j = jitter(ctx, self.cfg.maintenance_period);
+        Self::arm(ctx, j, timers::MAINTENANCE);
+        let j = jitter(ctx, Duration::from_secs(5));
+        Self::arm(ctx, Duration::from_secs(5) + j, timers::GC);
+
+        if self.cfg.tree_enabled {
+            self.tree.last_heartbeat = ctx.now();
+            if self.is_root() {
+                self.tree.dist_us = 0;
+                ctx.emit(GoCastEvent::BecameRoot { epoch: 0 });
+                // First heartbeat soon after boot so the tree forms quickly.
+                Self::arm(ctx, Duration::from_millis(200), timers::HEARTBEAT);
+            } else {
+                Self::arm(ctx, self.cfg.heartbeat_period, timers::HEARTBEAT);
+            }
+            let j = jitter(ctx, Duration::from_secs(2));
+            Self::arm(ctx, self.cfg.heartbeat_period + j, timers::ROOT_CHECK);
+        }
+
+        self.start_landmark_probing(ctx);
+    }
+
+    /// Graceful leave: tell every neighbor, then stop participating.
+    fn leave(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let peers: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        for p in peers {
+            self.drop_link(ctx, p, crate::types::DropReason::Surplus, true);
+        }
+        self.joined = false;
+        self.frozen = true;
+    }
+}

@@ -1,0 +1,236 @@
+//! Shared protocol types: message identifiers, link kinds, degree
+//! advertisements, and the metric events GoCast emits to the recorder.
+
+use std::fmt;
+use std::time::Duration;
+
+use gocast_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique multicast message identifier.
+///
+/// The paper concatenates the origin's IP address with a locally assigned,
+/// monotonically increasing sequence number; this is the same thing with a
+/// [`NodeId`] in place of the address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MsgId {
+    /// The node that injected the message.
+    pub origin: NodeId,
+    /// Origin-local sequence number.
+    pub seq: u32,
+}
+
+impl MsgId {
+    /// Creates a message id.
+    pub const fn new(origin: NodeId, seq: u32) -> Self {
+        MsgId { origin, seq }
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// Classification of an overlay link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// A link to a uniformly random node (connectivity insurance).
+    Random,
+    /// A link chosen for low latency (efficiency).
+    Nearby,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::Random => write!(f, "random"),
+            LinkKind::Nearby => write!(f, "nearby"),
+        }
+    }
+}
+
+/// A node's current degrees *and targets*, piggybacked on most protocol
+/// messages so neighbors can run the degree-balancing rules without extra
+/// round trips.
+///
+/// Targets are advertised because nodes may scale their targets to their
+/// capacity (the extension §2.2 mentions: "Tuning node degree according to
+/// node capacity can be accommodated in our protocol"): conditions that
+/// reason about *another* node's degree (C1, C2, operation 2) must compare
+/// against that node's own targets, not ours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegreeInfo {
+    /// Number of random neighbors (`D_rand`).
+    pub d_rand: u16,
+    /// Number of nearby neighbors (`D_near`).
+    pub d_near: u16,
+    /// This node's target random degree (`C_rand`, possibly capacity
+    /// scaled).
+    pub t_rand: u16,
+    /// This node's target nearby degree (`C_near`, possibly capacity
+    /// scaled).
+    pub t_near: u16,
+}
+
+impl DegreeInfo {
+    /// Total degree.
+    pub fn total(self) -> u16 {
+        self.d_rand + self.d_near
+    }
+
+    /// Whether the node is at or above its own random-degree target.
+    pub fn rand_saturated(self) -> bool {
+        self.d_rand >= self.t_rand
+    }
+
+    /// Whether the node is at or above its own nearby-degree target.
+    pub fn near_saturated(self) -> bool {
+        self.d_near >= self.t_near
+    }
+}
+
+/// How a multicast message reached a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeliveryPath {
+    /// Pushed along a tree link.
+    Tree,
+    /// Pulled after its ID was learned from a neighbor's gossip.
+    Pull,
+    /// The node injected the message itself.
+    Local,
+}
+
+/// Why an overlay link was removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Replaced by a lower-latency candidate (nearby maintenance).
+    Replaced,
+    /// Excess degree (random or nearby drop rules).
+    Surplus,
+    /// Random-degree rebalancing (operation 1: handed to a neighbor pair).
+    Rebalanced,
+    /// The peer asked to drop.
+    PeerRequest,
+    /// The peer went silent past the neighbor timeout.
+    PeerFailed,
+}
+
+/// Metric events emitted to the simulation recorder.
+///
+/// These are the raw material for every figure: the analysis crate folds
+/// them into delay CDFs, redundancy counts, and link-churn series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GoCastEvent {
+    /// This node injected a new multicast message.
+    Injected {
+        /// The new message's id.
+        id: MsgId,
+    },
+    /// First reception of a multicast message.
+    Delivered {
+        /// The message.
+        id: MsgId,
+        /// How it arrived.
+        via: DeliveryPath,
+    },
+    /// A full payload arrived for a message already received (the 2%
+    /// overhead discussed in §2.1).
+    RedundantData {
+        /// The message.
+        id: MsgId,
+    },
+    /// An overlay link to `peer` was established.
+    LinkAdded {
+        /// The new neighbor.
+        peer: NodeId,
+        /// Random or nearby.
+        kind: LinkKind,
+    },
+    /// An overlay link to `peer` was removed.
+    LinkDropped {
+        /// The former neighbor.
+        peer: NodeId,
+        /// Random or nearby.
+        kind: LinkKind,
+        /// Why it was removed.
+        reason: DropReason,
+    },
+    /// The node adopted a new tree parent (`None` = it is the root or is
+    /// detached).
+    ParentChanged {
+        /// The new parent.
+        parent: Option<NodeId>,
+    },
+    /// The node began acting as tree root (startup or failover).
+    BecameRoot {
+        /// Root epoch (increases on failover).
+        epoch: u32,
+    },
+    /// A pull request was sent for a message learned via gossip.
+    PullRequested {
+        /// The missing message.
+        id: MsgId,
+    },
+}
+
+/// Computes the age of a message at reception: the age stamped on the wire
+/// plus the (estimated) one-way latency of the hop it just crossed.
+///
+/// The paper's protocol estimates elapsed time "by piggybacking and adding
+/// up the propagation delays and waiting times as the message travels away
+/// from the source"; half the measured link RTT is that estimate.
+pub fn age_on_arrival(wire_age: Duration, link_rtt: Option<Duration>) -> Duration {
+    wire_age + link_rtt.unwrap_or(Duration::from_millis(100)) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_orders_by_origin_then_seq() {
+        let a = MsgId::new(NodeId::new(1), 5);
+        let b = MsgId::new(NodeId::new(2), 0);
+        let c = MsgId::new(NodeId::new(1), 6);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn msg_id_displays_origin_and_seq() {
+        assert_eq!(MsgId::new(NodeId::new(3), 9).to_string(), "n3#9");
+    }
+
+    #[test]
+    fn degree_info_totals() {
+        let d = DegreeInfo { d_rand: 1, d_near: 5, t_rand: 1, t_near: 5 };
+        assert_eq!(d.total(), 6);
+        assert!(d.rand_saturated());
+        assert!(d.near_saturated());
+        assert!(!DegreeInfo { d_rand: 0, d_near: 4, t_rand: 1, t_near: 5 }.near_saturated());
+        assert_eq!(DegreeInfo::default().total(), 0);
+    }
+
+    #[test]
+    fn age_on_arrival_uses_half_rtt() {
+        let age = age_on_arrival(Duration::from_millis(10), Some(Duration::from_millis(40)));
+        assert_eq!(age, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn age_on_arrival_has_fallback() {
+        let age = age_on_arrival(Duration::from_millis(10), None);
+        assert_eq!(age, Duration::from_millis(60));
+    }
+
+    #[test]
+    fn link_kind_displays() {
+        assert_eq!(LinkKind::Random.to_string(), "random");
+        assert_eq!(LinkKind::Nearby.to_string(), "nearby");
+    }
+}

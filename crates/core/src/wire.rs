@@ -1,0 +1,348 @@
+//! Wire messages exchanged between GoCast nodes.
+//!
+//! The simulator never serializes these; [`Wire::wire_size`] returns the
+//! size the message would have on the wire so traffic accounting matches a
+//! real deployment (IDs are 8 bytes, addresses 4, a small header per
+//! packet).
+
+use gocast_net::LandmarkVector;
+use gocast_sim::{NodeId, TrafficClass, Wire};
+use serde::{Deserialize, Serialize};
+
+use crate::types::{DegreeInfo, DropReason, LinkKind, MsgId};
+
+/// Per-packet overhead charged to every message (transport + protocol
+/// header).
+pub const HEADER_BYTES: u32 = 28;
+
+/// What a [`GoCastMsg::Ping`] is measuring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeKind {
+    /// Measuring the RTT to landmark `index` (latency estimation).
+    Landmark(u16),
+    /// Measuring a nearby-neighbor candidate from the member list.
+    Candidate,
+    /// Measuring an established overlay link (tree weights need it).
+    LinkMeasure,
+}
+
+/// A gossip entry: a message ID plus its age (microseconds since the
+/// origin injected it), used by the delayed-pull optimization.
+pub type GossipEntry = (MsgId, u64);
+
+/// A piggybacked membership entry: a node address plus its landmark
+/// coordinates when known.
+pub type MemberEntry = (NodeId, LandmarkVector);
+
+/// Every message a GoCast node can send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GoCastMsg {
+    /// A full multicast payload, pushed along a tree link or answering a
+    /// pull request.
+    Data {
+        /// Message identity.
+        id: MsgId,
+        /// Age at send time (µs since injection at the origin).
+        age_us: u64,
+        /// Payload size in bytes.
+        size: u32,
+    },
+    /// A periodic message summary to one overlay neighbor.
+    Gossip {
+        /// IDs (with ages) received since the last gossip to this neighbor,
+        /// excluding IDs heard *from* this neighbor.
+        ids: Vec<GossipEntry>,
+        /// Piggybacked random member addresses (partial membership).
+        members: Vec<MemberEntry>,
+        /// Sender's landmark coordinates.
+        coords: LandmarkVector,
+        /// Sender's current degrees.
+        degrees: DegreeInfo,
+    },
+    /// Request for messages the sender learned about via gossip but has not
+    /// received.
+    PullRequest {
+        /// The missing message IDs.
+        ids: Vec<MsgId>,
+    },
+    /// A joining node asks a contact for its member list.
+    JoinRequest,
+    /// The contact's member list.
+    JoinReply {
+        /// Member addresses with coordinates when known.
+        members: Vec<MemberEntry>,
+    },
+    /// RTT probe.
+    Ping {
+        /// What is being measured.
+        kind: ProbeKind,
+        /// Sender clock at transmission (echoed back; the sender computes
+        /// RTT as `now - sent_at_us` without keeping per-ping state).
+        sent_at_us: u64,
+    },
+    /// RTT probe response, carrying the responder's state needed by the
+    /// overlay maintenance conditions C2/C3.
+    Pong {
+        /// Echoed probe kind.
+        kind: ProbeKind,
+        /// Echoed transmission timestamp.
+        sent_at_us: u64,
+        /// Responder's degrees (condition C2).
+        degrees: DegreeInfo,
+        /// Responder's worst nearby-link RTT in µs (condition C3);
+        /// `u64::MAX` when unknown.
+        max_nearby_rtt_us: u64,
+        /// Responder's landmark coordinates.
+        coords: LandmarkVector,
+    },
+    /// Ask to become an overlay neighbor.
+    LinkRequest {
+        /// Random or nearby.
+        kind: LinkKind,
+        /// Measured RTT between requester and target, when the requester
+        /// probed first (nearby links); lets the acceptor run condition C3.
+        rtt_us: Option<u64>,
+        /// Requester's degrees.
+        degrees: DegreeInfo,
+    },
+    /// Accept a link request.
+    LinkAccept {
+        /// Echoed link kind.
+        kind: LinkKind,
+        /// Acceptor's degrees.
+        degrees: DegreeInfo,
+    },
+    /// Decline a link request.
+    LinkReject {
+        /// Echoed link kind.
+        kind: LinkKind,
+    },
+    /// Unilaterally drop an established link.
+    LinkDrop {
+        /// The link kind being dropped.
+        kind: LinkKind,
+        /// Why.
+        reason: DropReason,
+    },
+    /// Random-degree rebalancing (operation 1): the sender is dropping its
+    /// links to the receiver and to `target`, and asks the receiver to
+    /// connect to `target` so both keep their random degree.
+    ConnectTo {
+        /// The node the receiver should establish a random link to.
+        target: NodeId,
+    },
+    /// Tree advertisement: the root's periodic heartbeat flood, re-emitted
+    /// by every node with its own distance-to-root. Doubles as the
+    /// distance-vector route update of the DVMRP-style tree protocol.
+    TreeAd {
+        /// Current root.
+        root: NodeId,
+        /// Root epoch (bumped on failover).
+        epoch: u32,
+        /// Heartbeat sequence number within the epoch.
+        seq: u32,
+        /// Sender's latency distance from the root, in µs.
+        dist_us: u64,
+    },
+    /// Tell a neighbor it is (or no longer is) this node's tree parent.
+    ParentSelect {
+        /// `true` = you are now my parent; `false` = you no longer are.
+        selected: bool,
+    },
+}
+
+impl GoCastMsg {
+    /// Encoded size of a landmark vector: count word + one `u32` per slot.
+    fn coords_bytes(c: &LandmarkVector) -> u32 {
+        4 + 4 * c.len() as u32
+    }
+}
+
+impl Wire for GoCastMsg {
+    /// Exact on-the-wire size: the fixed transport header, the body as the
+    /// binary codec in [`crate::encode`] produces it, and — for `Data` —
+    /// the payload bytes themselves. A property test asserts
+    /// `wire_size() == HEADER_BYTES + encode(self).len() + payload`.
+    fn wire_size(&self) -> u32 {
+        HEADER_BYTES
+            + match self {
+                GoCastMsg::Data { size, .. } => 21 + size,
+                GoCastMsg::Gossip {
+                    ids,
+                    members,
+                    coords,
+                    ..
+                } => {
+                    1 + 4
+                        + 16 * ids.len() as u32
+                        + 4
+                        + members
+                            .iter()
+                            .map(|(_, c)| 4 + Self::coords_bytes(c))
+                            .sum::<u32>()
+                        + Self::coords_bytes(coords)
+                        + 8
+                }
+                GoCastMsg::PullRequest { ids } => 1 + 4 + 8 * ids.len() as u32,
+                GoCastMsg::JoinRequest => 1,
+                GoCastMsg::JoinReply { members } => {
+                    1 + 4
+                        + members
+                            .iter()
+                            .map(|(_, c)| 4 + Self::coords_bytes(c))
+                            .sum::<u32>()
+                }
+                GoCastMsg::Ping { .. } => 12,
+                GoCastMsg::Pong { coords, .. } => 28 + Self::coords_bytes(coords),
+                GoCastMsg::LinkRequest { .. } => 19,
+                GoCastMsg::LinkAccept { .. } => 10,
+                GoCastMsg::LinkReject { .. } => 2,
+                GoCastMsg::LinkDrop { .. } => 3,
+                GoCastMsg::ConnectTo { .. } => 5,
+                GoCastMsg::TreeAd { .. } => 21,
+                GoCastMsg::ParentSelect { .. } => 2,
+            }
+    }
+
+    fn class(&self) -> TrafficClass {
+        match self {
+            GoCastMsg::Data { .. } => TrafficClass::Data,
+            GoCastMsg::Gossip { .. } => TrafficClass::Gossip,
+            GoCastMsg::PullRequest { .. } => TrafficClass::Request,
+            GoCastMsg::JoinRequest | GoCastMsg::JoinReply { .. } => TrafficClass::Membership,
+            GoCastMsg::Ping { .. } | GoCastMsg::Pong { .. } => TrafficClass::Probe,
+            GoCastMsg::LinkRequest { .. }
+            | GoCastMsg::LinkAccept { .. }
+            | GoCastMsg::LinkReject { .. }
+            | GoCastMsg::LinkDrop { .. }
+            | GoCastMsg::ConnectTo { .. } => TrafficClass::Control,
+            GoCastMsg::TreeAd { .. } | GoCastMsg::ParentSelect { .. } => TrafficClass::Tree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_size_includes_payload() {
+        let m = GoCastMsg::Data {
+            id: MsgId::new(NodeId::new(0), 1),
+            age_us: 0,
+            size: 1024,
+        };
+        assert_eq!(m.wire_size(), HEADER_BYTES + 21 + 1024);
+        assert_eq!(m.class(), TrafficClass::Data);
+    }
+
+    #[test]
+    fn gossip_size_scales_with_ids() {
+        let base = GoCastMsg::Gossip {
+            ids: vec![],
+            members: vec![],
+            coords: LandmarkVector::unknown(),
+            degrees: DegreeInfo::default(),
+        };
+        let two = GoCastMsg::Gossip {
+            ids: vec![
+                (MsgId::new(NodeId::new(0), 1), 5),
+                (MsgId::new(NodeId::new(0), 2), 5),
+            ],
+            members: vec![],
+            coords: LandmarkVector::unknown(),
+            degrees: DegreeInfo::default(),
+        };
+        assert_eq!(two.wire_size() - base.wire_size(), 32);
+        assert_eq!(base.class(), TrafficClass::Gossip);
+    }
+
+    #[test]
+    fn gossips_are_small_relative_to_data() {
+        // The paper's efficiency argument requires summaries to be much
+        // smaller than payloads.
+        let gossip = GoCastMsg::Gossip {
+            ids: (0..10)
+                .map(|s| (MsgId::new(NodeId::new(1), s), 0))
+                .collect(),
+            members: vec![(NodeId::new(2), LandmarkVector::unknown())],
+            coords: LandmarkVector::unknown(),
+            degrees: DegreeInfo::default(),
+        };
+        let data = GoCastMsg::Data {
+            id: MsgId::new(NodeId::new(1), 0),
+            age_us: 0,
+            size: 1024,
+        };
+        assert!(gossip.wire_size() * 4 < data.wire_size());
+    }
+
+    #[test]
+    fn wire_size_matches_codec_exactly() {
+        use gocast_sim::Wire as _;
+        let msgs = [
+            GoCastMsg::Data {
+                id: MsgId::new(NodeId::new(0), 1),
+                age_us: 9,
+                size: 512,
+            },
+            GoCastMsg::Gossip {
+                ids: vec![(MsgId::new(NodeId::new(0), 1), 5)],
+                members: vec![(NodeId::new(2), LandmarkVector::unknown())],
+                coords: LandmarkVector::from_rtts([std::time::Duration::from_millis(4)]),
+                degrees: DegreeInfo::default(),
+            },
+            GoCastMsg::JoinRequest,
+            GoCastMsg::LinkRequest {
+                kind: LinkKind::Nearby,
+                rtt_us: Some(1),
+                degrees: DegreeInfo::default(),
+            },
+            GoCastMsg::TreeAd {
+                root: NodeId::new(0),
+                epoch: 1,
+                seq: 2,
+                dist_us: 3,
+            },
+        ];
+        for m in msgs {
+            let payload = match &m {
+                GoCastMsg::Data { size, .. } => *size,
+                _ => 0,
+            };
+            assert_eq!(
+                m.wire_size(),
+                HEADER_BYTES + crate::codec::encode(&m).len() as u32 + payload,
+                "size mismatch for {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_variant_has_a_class() {
+        let msgs = [
+            GoCastMsg::JoinRequest,
+            GoCastMsg::Ping {
+                kind: ProbeKind::Candidate,
+                sent_at_us: 0,
+            },
+            GoCastMsg::LinkReject {
+                kind: LinkKind::Random,
+            },
+            GoCastMsg::ConnectTo {
+                target: NodeId::new(1),
+            },
+            GoCastMsg::TreeAd {
+                root: NodeId::new(0),
+                epoch: 0,
+                seq: 0,
+                dist_us: 0,
+            },
+            GoCastMsg::ParentSelect { selected: true },
+        ];
+        for m in msgs {
+            assert!(m.wire_size() >= HEADER_BYTES);
+            let _ = m.class();
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # gocast-experiments — regenerating every figure of the GoCast paper
+//!
+//! Each function in [`figures`] reproduces one figure or in-text claim of
+//! the paper (see DESIGN.md's experiment index): it runs the necessary
+//! simulations, prints the series/rows the paper reports, and writes CSV
+//! under `results/`. The `gocast-experiments` binary exposes them as
+//! subcommands; the Criterion benches call the same functions at reduced
+//! scale.
+//!
+//! ```no_run
+//! use gocast_experiments::{figures, ExpOptions};
+//!
+//! // Quick-scale Figure 3(a): five protocols, no failures.
+//! let tables = figures::fig3(&ExpOptions::quick(), 0.0);
+//! assert_eq!(tables[0].rows(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+mod options;
+pub mod runners;
+pub mod sweep;
+
+pub use options::ExpOptions;
+pub use runners::{DelayStats, Proto};

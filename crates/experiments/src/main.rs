@@ -1,0 +1,210 @@
+//! CLI harness: `gocast-experiments <experiment> [flags]`.
+//!
+//! Experiments (see DESIGN.md for the index):
+//!
+//! ```text
+//! fig1    gossip reliability vs fanout (analytic + empirical)
+//! fig3a   delay CDF, five protocols, no failures
+//! fig3b   delay CDF, five protocols, 20% concurrent failures
+//! fig4    GoCast delay at 1,024 vs 8,192 nodes, 0%/20% failures
+//! fig5a   node-degree distribution over time
+//! fig5b   overlay/tree link latency over time
+//! fig6    largest component vs failure ratio per C_rand
+//! ext1    link changes per second (stabilization)
+//! ext2    overlay link latency vs number of random links
+//! ext3    overlay diameter vs system size
+//! ext4    bottleneck physical-link stress vs gossip
+//! ext5    gossip delay vs fanout
+//! txt1    redundant receptions vs pull delay f
+//! txt2    degree split after adaptation
+//! txt4    two-continent partition test (C_rand = 0 vs 1)
+//! ablate  maintenance design-choice ablations
+//! adaptive  future-work adaptive gossip/maintenance periods
+//! sweep   multi-seed robustness check of the headline speedup
+//! all     everything above at full scale
+//! ```
+//!
+//! Flags: `--quick` (reduced scale), `--nodes N`, `--seed S`,
+//! `--warmup SECS`, `--messages M`, `--rate R`, `--drain SECS`,
+//! `--out DIR`, `--no-csv`.
+
+use std::time::Duration;
+
+use gocast_experiments::{figures, ExpOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|all> \
+         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts(args: &[String]) -> ExpOptions {
+    let mut opts = ExpOptions::default();
+    let mut explicit_nodes = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut take = |name: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match arg {
+            "--quick" => {
+                let keep_out = opts.out_dir.clone();
+                opts = ExpOptions::quick();
+                opts.out_dir = keep_out;
+            }
+            "--nodes" => explicit_nodes = Some(take("--nodes").parse().expect("--nodes")),
+            "--seed" => opts.seed = take("--seed").parse().expect("--seed"),
+            "--warmup" => {
+                opts.warmup = Duration::from_secs(take("--warmup").parse().expect("--warmup"))
+            }
+            "--messages" => opts.messages = take("--messages").parse().expect("--messages"),
+            "--rate" => opts.rate = take("--rate").parse().expect("--rate"),
+            "--drain" => {
+                opts.drain = Duration::from_secs(take("--drain").parse().expect("--drain"))
+            }
+            "--out" => opts.out_dir = Some(take("--out").into()),
+            "--no-csv" => opts.out_dir = None,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if let Some(n) = explicit_nodes {
+        opts.nodes = n;
+    }
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(exp) = args.first() else { usage() };
+    let opts = parse_opts(&args[1..]);
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let fig4_sizes: Vec<usize> = if quick {
+        vec![opts.nodes, opts.nodes * 2]
+    } else {
+        vec![1024, 8192]
+    };
+    let ext3_sizes: Vec<usize> = if quick {
+        vec![64, 128, 256]
+    } else {
+        vec![256, 512, 1024, 2048, 4096, 8192]
+    };
+    let fig5b_secs = if quick { opts.warmup.as_secs() } else { 200 };
+
+    let t0 = std::time::Instant::now();
+    match exp.as_str() {
+        "fig1" => {
+            figures::fig1(&opts);
+        }
+        "fig3a" => {
+            figures::fig3(&opts, 0.0);
+        }
+        "fig3b" => {
+            figures::fig3(&opts, 0.2);
+        }
+        "fig4" => {
+            figures::fig4(&opts, &fig4_sizes);
+        }
+        "fig5a" => {
+            figures::fig5a(&opts);
+        }
+        "fig5b" => {
+            figures::fig5b(&opts, fig5b_secs);
+        }
+        "fig6" => {
+            figures::fig6(&opts);
+        }
+        "ext1" => {
+            figures::ext1(&opts);
+        }
+        "ext2" => {
+            figures::ext2(&opts);
+        }
+        "ext3" => {
+            figures::ext3(&opts, &ext3_sizes);
+        }
+        "ext4" => {
+            figures::ext4(&opts);
+        }
+        "ext5" => {
+            figures::ext5(&opts);
+        }
+        "txt1" => {
+            figures::txt1(&opts);
+        }
+        "txt2" => {
+            figures::txt2(&opts);
+        }
+        "txt4" => {
+            figures::txt4(&opts);
+        }
+        "ablate" => {
+            figures::ablations(&opts);
+        }
+        "adaptive" => {
+            figures::adaptive(&opts);
+        }
+        "sweep" => {
+            // Multi-seed robustness check of the headline result.
+            let seeds = 5;
+            eprintln!("sweeping GoCast vs gossip mean delay over {seeds} seeds ...");
+            let go = gocast_experiments::sweep::sweep_seeds(&opts, seeds, |o| {
+                gocast_experiments::runners::run_delay(
+                    o,
+                    gocast_experiments::Proto::GoCast(Default::default()),
+                    0.0,
+                )
+                .per_node_avg
+                .mean()
+                .as_secs_f64()
+            });
+            let gs = gocast_experiments::sweep::sweep_seeds(&opts, seeds, |o| {
+                gocast_experiments::runners::run_delay(
+                    o,
+                    gocast_experiments::Proto::PushGossip(Default::default()),
+                    0.0,
+                )
+                .per_node_avg
+                .mean()
+                .as_secs_f64()
+            });
+            println!("GoCast mean delay (s): {go}");
+            println!("gossip mean delay (s): {gs}");
+            println!("speedup of means: {:.1}x", gs.mean / go.mean);
+        }
+        "all" => {
+            figures::fig1(&opts);
+            figures::fig3(&opts, 0.0);
+            figures::fig3(&opts, 0.2);
+            figures::fig4(&opts, &fig4_sizes);
+            figures::fig5a(&opts);
+            figures::fig5b(&opts, fig5b_secs);
+            figures::fig6(&opts);
+            figures::ext1(&opts);
+            figures::ext2(&opts);
+            figures::ext3(&opts, &ext3_sizes);
+            figures::ext4(&opts);
+            figures::ext5(&opts);
+            figures::txt1(&opts);
+            figures::txt2(&opts);
+            figures::txt4(&opts);
+            figures::ablations(&opts);
+            figures::adaptive(&opts);
+        }
+        _ => usage(),
+    }
+    eprintln!("done in {:?}", t0.elapsed());
+}

@@ -1,0 +1,116 @@
+//! Experiment options shared by the CLI and the benchmark harness.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Scale and output parameters for a run.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Number of nodes (paper default 1,024).
+    pub nodes: usize,
+    /// Number of latency sites (paper: 1,740 from the King dataset).
+    pub sites: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Overlay adaptation time before measurement (paper: 500 s).
+    pub warmup: Duration,
+    /// Number of multicast messages to inject (paper: 1,000).
+    pub messages: u32,
+    /// Injection rate in messages/second (paper: 100).
+    pub rate: f64,
+    /// Time to keep simulating after the last injection.
+    pub drain: Duration,
+    /// Where CSV files go (`None` = don't write).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            nodes: 1024,
+            sites: 1740,
+            seed: 42,
+            warmup: Duration::from_secs(500),
+            messages: 1000,
+            rate: 100.0,
+            drain: Duration::from_secs(40),
+            out_dir: Some(PathBuf::from("results")),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// A reduced-scale preset that exercises every code path in seconds —
+    /// used by `--quick`, the benches, and the integration tests. The
+    /// *shape* of the results (who wins, roughly by how much) already
+    /// shows at this scale; absolute numbers belong to the full runs.
+    pub fn quick() -> Self {
+        ExpOptions {
+            nodes: 128,
+            sites: 256,
+            seed: 42,
+            warmup: Duration::from_secs(60),
+            messages: 50,
+            rate: 25.0,
+            drain: Duration::from_secs(30),
+            out_dir: None,
+        }
+    }
+
+    /// Scales node count (builder style).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Injection duration implied by `messages` and `rate`.
+    pub fn inject_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.messages as f64 / self.rate)
+    }
+
+    /// Writes `table` as `<name>.csv` under `out_dir`, if set.
+    pub fn write_csv(&self, name: &str, table: &gocast_analysis::Table) {
+        if let Some(dir) = &self.out_dir {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = ExpOptions::default();
+        assert_eq!(o.nodes, 1024);
+        assert_eq!(o.sites, 1740);
+        assert_eq!(o.warmup, Duration::from_secs(500));
+        assert_eq!(o.messages, 1000);
+        assert_eq!(o.rate, 100.0);
+    }
+
+    #[test]
+    fn inject_duration_follows_rate() {
+        let o = ExpOptions::default();
+        assert_eq!(o.inject_duration(), Duration::from_secs(10));
+        let q = ExpOptions::quick();
+        assert_eq!(q.inject_duration(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn quick_is_small() {
+        let q = ExpOptions::quick();
+        assert!(q.nodes <= 256);
+        assert!(q.out_dir.is_none());
+    }
+}

@@ -1,0 +1,404 @@
+//! Shared simulation runners behind every experiment.
+
+use std::time::Duration;
+
+use gocast::{
+    snapshot, GoCastCommand, GoCastConfig, GoCastNode, LinkKind, Snapshot,
+};
+use gocast_analysis::{Cdf, Histogram, MetricsRecorder};
+use gocast_baselines::{PushGossipConfig, PushGossipNode};
+use gocast_net::{synthetic_king, SiteLatencyMatrix, SyntheticKingConfig};
+use gocast_sim::{NodeId, Sim, SimBuilder, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::options::ExpOptions;
+
+/// Which protocol to drive through a delay experiment.
+#[derive(Debug, Clone)]
+pub enum Proto {
+    /// Full GoCast, or its tree-less overlay presets.
+    GoCast(GoCastConfig),
+    /// Push-based gossip / no-wait gossip.
+    PushGossip(PushGossipConfig),
+}
+
+impl Proto {
+    /// Display label matching the paper's curve names.
+    pub fn label(&self) -> String {
+        match self {
+            Proto::GoCast(cfg) if cfg.tree_enabled => "GoCast".into(),
+            Proto::GoCast(cfg) if cfg.c_near == 0 => "random overlay".into(),
+            Proto::GoCast(_) => "proximity overlay".into(),
+            Proto::PushGossip(cfg) if cfg.no_wait => format!("no-wait gossip (F={})", cfg.fanout),
+            Proto::PushGossip(cfg) => format!("gossip (F={})", cfg.fanout),
+        }
+    }
+}
+
+/// Outcome of one dissemination run.
+#[derive(Debug)]
+pub struct DelayStats {
+    /// Protocol label.
+    pub protocol: String,
+    /// Live nodes at measurement time.
+    pub live_nodes: usize,
+    /// Per-node average delay over nodes that got *every* message.
+    pub per_node_avg: Cdf,
+    /// Nodes that missed at least one message (the paper's gossip curves
+    /// saturate below 1.0 because of these).
+    pub incomplete_nodes: usize,
+    /// CDF over all (node, message) delays.
+    pub all_delays: Cdf,
+    /// Mean receptions per delivered message (1.0 = no duplicates).
+    pub redundancy: f64,
+    /// Fraction of deliveries over tree links.
+    pub tree_fraction: f64,
+    /// Pull requests issued during the run.
+    pub pulls: u64,
+}
+
+/// The synthetic-King network for a given option set.
+pub fn build_network(opts: &ExpOptions) -> SiteLatencyMatrix {
+    synthetic_king(
+        opts.nodes,
+        &SyntheticKingConfig {
+            sites: opts.sites.min(opts.nodes.max(16)),
+            seed: opts.seed ^ 0x4B494E47, // "KING"
+            ..Default::default()
+        },
+    )
+}
+
+fn failure_set(opts: &ExpOptions, fail_frac: f64) -> Vec<NodeId> {
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xFA11);
+    let k = (opts.nodes as f64 * fail_frac).round() as usize;
+    let mut ids: Vec<u32> = (0..opts.nodes as u32).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids.into_iter().map(NodeId::new).collect()
+}
+
+/// Schedules `opts.messages` multicasts at `opts.rate` from random live
+/// sources, starting at `start`.
+fn schedule_injections<P>(
+    sim: &mut Sim<P, MetricsRecorder>,
+    opts: &ExpOptions,
+    start: SimTime,
+) where
+    P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
+{
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5EED);
+    let live: Vec<NodeId> = sim.alive_nodes().collect();
+    for i in 0..opts.messages {
+        let at = start + Duration::from_secs_f64(i as f64 / opts.rate);
+        let src = live[rng.gen_range(0..live.len())];
+        sim.schedule_command(at, src, GoCastCommand::Multicast);
+    }
+}
+
+fn collect_delay_stats<P>(
+    sim: &Sim<P, MetricsRecorder>,
+    opts: &ExpOptions,
+    label: String,
+) -> DelayStats
+where
+    P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
+{
+    let live: Vec<NodeId> = sim.alive_nodes().collect();
+    let rec = sim.recorder();
+    let (per_node_avg, incomplete) = rec.per_node_average_delays(opts.messages as u64, &live);
+    DelayStats {
+        protocol: label,
+        live_nodes: live.len(),
+        per_node_avg,
+        incomplete_nodes: incomplete,
+        all_delays: rec.delay_cdf(),
+        redundancy: rec.redundancy_factor(),
+        tree_fraction: rec.tree_fraction(),
+        pulls: rec.pulls(),
+    }
+}
+
+/// Builds a GoCast simulation in the paper's standard bootstrap state.
+pub fn build_gocast_sim(
+    opts: &ExpOptions,
+    cfg: &GoCastConfig,
+    track_pairs: bool,
+) -> Sim<GoCastNode, MetricsRecorder> {
+    let net = build_network(opts);
+    let links_per_node = (cfg.c_degree() / 2).max(1);
+    let mut boot = gocast::bootstrap_random_graph(opts.nodes, links_per_node, opts.seed ^ 0xB007);
+    let mut builder = SimBuilder::new(net).seed(opts.seed);
+    if track_pairs {
+        builder = builder.track_pair_counts();
+    }
+    builder.build_with(MetricsRecorder::new(), |id| {
+        let (links, members) = boot(id);
+        GoCastNode::with_initial_links(id, cfg.clone(), links, members)
+    })
+}
+
+/// Runs a full dissemination experiment: warm up (GoCast only), optionally
+/// fail a fraction of nodes and freeze all repair, inject the message
+/// workload, drain, and aggregate.
+pub fn run_delay(opts: &ExpOptions, proto: Proto, fail_frac: f64) -> DelayStats {
+    let label = proto.label();
+    match proto {
+        Proto::GoCast(cfg) => {
+            let mut sim = build_gocast_sim(opts, &cfg, false);
+            sim.run_until(SimTime::ZERO + opts.warmup);
+            apply_failures_and_freeze(&mut sim, opts, fail_frac, true);
+            let start = sim.now() + Duration::from_millis(100);
+            schedule_injections(&mut sim, opts, start);
+            sim.run_until(start + opts.inject_duration() + opts.drain);
+            collect_delay_stats(&sim, opts, label)
+        }
+        Proto::PushGossip(cfg) => {
+            let net = build_network(opts);
+            let mut sim = SimBuilder::new(net)
+                .seed(opts.seed)
+                .build_with(MetricsRecorder::new(), |id| {
+                    PushGossipNode::new(id, cfg.clone())
+                });
+            // No overlay to warm up: full membership is assumed.
+            sim.run_until(SimTime::from_secs(2));
+            apply_failures_and_freeze(&mut sim, opts, fail_frac, false);
+            let start = sim.now() + Duration::from_millis(100);
+            schedule_injections(&mut sim, opts, start);
+            sim.run_until(start + opts.inject_duration() + opts.drain);
+            collect_delay_stats(&sim, opts, label)
+        }
+    }
+}
+
+fn apply_failures_and_freeze<P>(
+    sim: &mut Sim<P, MetricsRecorder>,
+    opts: &ExpOptions,
+    fail_frac: f64,
+    freeze: bool,
+) where
+    P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
+{
+    if fail_frac <= 0.0 {
+        return;
+    }
+    for id in failure_set(opts, fail_frac) {
+        sim.fail_node(id);
+    }
+    if freeze {
+        let live: Vec<NodeId> = sim.alive_nodes().collect();
+        for id in live {
+            sim.command_now(id, GoCastCommand::FreezeMaintenance);
+        }
+        sim.run_for(Duration::from_millis(1));
+    }
+}
+
+/// Result of an adaptation run (Figures 5(a), 5(b); §3 summary (1)).
+#[derive(Debug)]
+pub struct AdaptationResult {
+    /// Total-degree histograms at the requested snapshot times.
+    pub degree_hists: Vec<(u64, Histogram)>,
+    /// `(second, mean overlay link latency, mean tree link latency)`.
+    pub latency_series: Vec<(u64, Duration, Duration)>,
+    /// Link adds + drops per second (both endpoints count).
+    pub link_changes_per_sec: Vec<u64>,
+    /// Final random-degree histogram.
+    pub rand_hist: Histogram,
+    /// Final nearby-degree histogram.
+    pub near_hist: Histogram,
+    /// Final snapshot.
+    pub final_snapshot: Snapshot,
+    /// Final average total degree.
+    pub mean_degree: f64,
+}
+
+/// Runs the paper's adaptation experiment: all nodes boot simultaneously
+/// with 3 random links each and the maintenance protocols reshape the
+/// overlay and tree.
+pub fn run_adaptation(
+    opts: &ExpOptions,
+    cfg: &GoCastConfig,
+    snap_times: &[u64],
+    latency_secs: u64,
+) -> AdaptationResult {
+    let mut sim = build_gocast_sim(opts, cfg, false);
+    let end = opts.warmup.as_secs().max(latency_secs).max(
+        snap_times.iter().copied().max().unwrap_or(0),
+    );
+    let mut degree_hists = Vec::new();
+    let mut latency_series = Vec::new();
+    for sec in 0..=end {
+        sim.run_until(SimTime::from_secs(sec));
+        if snap_times.contains(&sec) {
+            let snap = snapshot(&sim);
+            degree_hists.push((sec, Histogram::from_values(snap.degrees())));
+        }
+        if sec <= latency_secs {
+            let snap = snapshot(&sim);
+            latency_series.push((
+                sec,
+                snap.mean_overlay_latency(sim.latency_model()),
+                snap.mean_tree_latency(sim.latency_model()),
+            ));
+        }
+    }
+    let final_snapshot = snapshot(&sim);
+    let mean_degree = final_snapshot.degrees().iter().sum::<usize>() as f64 / opts.nodes as f64;
+    let rand_hist = Histogram::from_values(
+        sim.iter_nodes().map(|(_, n)| n.degrees().d_rand as usize),
+    );
+    let near_hist = Histogram::from_values(
+        sim.iter_nodes().map(|(_, n)| n.degrees().d_near as usize),
+    );
+    AdaptationResult {
+        degree_hists,
+        latency_series,
+        link_changes_per_sec: sim.recorder().link_changes_per_sec().to_vec(),
+        rand_hist,
+        near_hist,
+        final_snapshot,
+        mean_degree,
+    }
+}
+
+/// Largest-component fraction `q` after failing `frac` of the nodes,
+/// averaged over `draws` random failure sets (Figure 6). Runs entirely on
+/// the adapted overlay snapshot.
+pub fn resilience_q(snap: &Snapshot, frac: f64, draws: usize, seed: u64) -> f64 {
+    let n = snap.n;
+    let adj = snap.overlay_adjacency();
+    let mut total = 0.0;
+    for d in 0..draws {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (d as u64) << 32 ^ (frac * 1000.0) as u64);
+        let k = (n as f64 * frac).round() as usize;
+        let mut alive = vec![true; n];
+        let mut ids: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+            alive[ids[i]] = false;
+        }
+        total += gocast_analysis::largest_component_fraction(&adj, &alive);
+    }
+    total / draws as f64
+}
+
+/// Mean latency of overlay links by kind plus overall (§3 summary (2)).
+pub fn overlay_latency_breakdown(
+    snap: &Snapshot,
+    net: &dyn gocast_sim::LatencyModel,
+) -> (Duration, Duration, Duration) {
+    (
+        snap.mean_overlay_latency(net),
+        snap.mean_overlay_latency_of(LinkKind::Random, net),
+        snap.mean_overlay_latency_of(LinkKind::Nearby, net),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            nodes: 48,
+            sites: 48,
+            seed: 5,
+            warmup: Duration::from_secs(20),
+            messages: 5,
+            rate: 5.0,
+            drain: Duration::from_secs(20),
+            out_dir: None,
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_curves() {
+        assert_eq!(Proto::GoCast(GoCastConfig::default()).label(), "GoCast");
+        assert_eq!(
+            Proto::GoCast(GoCastConfig::proximity_overlay()).label(),
+            "proximity overlay"
+        );
+        assert_eq!(
+            Proto::GoCast(GoCastConfig::random_overlay()).label(),
+            "random overlay"
+        );
+        assert_eq!(
+            Proto::PushGossip(PushGossipConfig::default()).label(),
+            "gossip (F=5)"
+        );
+        assert_eq!(
+            Proto::PushGossip(PushGossipConfig::no_wait()).label(),
+            "no-wait gossip (F=5)"
+        );
+    }
+
+    #[test]
+    fn failure_set_is_deterministic_and_sized() {
+        let opts = tiny();
+        let a = failure_set(&opts, 0.25);
+        let b = failure_set(&opts, 0.25);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 12, "distinct");
+    }
+
+    #[test]
+    fn gocast_delay_run_completes_everyone() {
+        let stats = run_delay(&tiny(), Proto::GoCast(GoCastConfig::default()), 0.0);
+        assert_eq!(stats.live_nodes, 48);
+        assert_eq!(stats.incomplete_nodes, 0, "no failures, no misses");
+        assert!(stats.per_node_avg.mean() < Duration::from_secs(1));
+        assert!(stats.tree_fraction > 0.8);
+    }
+
+    #[test]
+    fn gossip_delay_run_is_slower_than_gocast() {
+        let opts = tiny();
+        let go = run_delay(&opts, Proto::GoCast(GoCastConfig::default()), 0.0);
+        let gs = run_delay(&opts, Proto::PushGossip(PushGossipConfig::default()), 0.0);
+        // Even at toy scale the tree should beat random gossip clearly.
+        assert!(
+            gs.per_node_avg.mean() > go.per_node_avg.mean(),
+            "gossip {:?} should be slower than GoCast {:?}",
+            gs.per_node_avg.mean(),
+            go.per_node_avg.mean()
+        );
+    }
+
+    #[test]
+    fn failed_run_still_reaches_live_nodes() {
+        let stats = run_delay(&tiny(), Proto::GoCast(GoCastConfig::default()), 0.2);
+        assert_eq!(stats.live_nodes, 48 - 10);
+        assert_eq!(stats.incomplete_nodes, 0, "gossip recovery must cover");
+        assert!(stats.pulls > 0);
+    }
+
+    #[test]
+    fn adaptation_improves_latency_and_degrees() {
+        let opts = tiny();
+        let res = run_adaptation(&opts, &GoCastConfig::default(), &[0, 20], 20);
+        assert_eq!(res.degree_hists.len(), 2);
+        let first = res.latency_series.first().unwrap();
+        let last = res.latency_series.last().unwrap();
+        assert!(last.1 < first.1, "overlay latency should fall");
+        assert!(res.mean_degree > 5.0 && res.mean_degree < 8.0);
+        assert!(res.rand_hist.fraction(1) > 0.5, "most nodes have 1 random link");
+    }
+
+    #[test]
+    fn resilience_q_full_at_zero_failures() {
+        let opts = tiny();
+        let res = run_adaptation(&opts, &GoCastConfig::default(), &[], 0);
+        let q0 = resilience_q(&res.final_snapshot, 0.0, 2, 7);
+        assert!((q0 - 1.0).abs() < 1e-9, "connected overlay, q = 1, got {q0}");
+        let q_half = resilience_q(&res.final_snapshot, 0.5, 2, 7);
+        assert!(q_half <= 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! # gocast-membership — bounded random partial views
+//!
+//! GoCast nodes do not know the full system membership. Each node keeps a
+//! bounded, approximately uniform random *partial view* of other nodes,
+//! maintained by piggybacking a few random member addresses on the gossips
+//! exchanged between overlay neighbors (the paper cites lpbcast \[5\] and
+//! notes that "a 'uniformly' random partial member list is almost as good as
+//! a complete member list").
+//!
+//! [`MemberView`] is that view: a capacity-bounded set with random eviction,
+//! uniform sampling, and a stable round-robin cursor (the overlay
+//! maintenance protocol walks candidates round-robin).
+//!
+//! ```
+//! use gocast_membership::MemberView;
+//! use gocast_sim::NodeId;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut view = MemberView::new(NodeId::new(0), 4);
+//! for i in 1..=10u32 {
+//!     view.insert(NodeId::new(i), &mut rng);
+//! }
+//! assert_eq!(view.len(), 4); // bounded
+//! assert!(!view.contains(NodeId::new(0))); // never contains the owner
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use gocast_sim::NodeId;
+
+/// A bounded random partial view of system membership.
+///
+/// Invariants:
+/// - never contains the owning node's own id;
+/// - never exceeds its capacity (random eviction on overflow);
+/// - contains no duplicates.
+#[derive(Debug, Clone)]
+pub struct MemberView {
+    owner: NodeId,
+    capacity: usize,
+    members: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    cursor: usize,
+}
+
+impl MemberView {
+    /// Creates an empty view owned by `owner` holding at most `capacity`
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        MemberView {
+            owner,
+            capacity,
+            members: Vec::new(),
+            index: HashMap::new(),
+            cursor: 0,
+        }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` is in the view.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Inserts `id`. Self-insertions and duplicates are ignored. If the view
+    /// is full, a uniformly random existing entry is evicted first (so the
+    /// view stays an approximately uniform sample of everything it has
+    /// seen). Returns `true` if `id` is newly present.
+    pub fn insert(&mut self, id: NodeId, rng: &mut SmallRng) -> bool {
+        if id == self.owner || self.index.contains_key(&id) {
+            return false;
+        }
+        if self.members.len() >= self.capacity {
+            let victim = self.members[rng.gen_range(0..self.members.len())];
+            self.remove(victim);
+        }
+        self.index.insert(id, self.members.len());
+        self.members.push(id);
+        true
+    }
+
+    /// Merges a batch of ids (e.g. from a gossip's piggybacked addresses).
+    /// Returns how many were newly inserted.
+    pub fn merge<I: IntoIterator<Item = NodeId>>(&mut self, ids: I, rng: &mut SmallRng) -> usize {
+        ids.into_iter().filter(|&id| self.insert(id, rng)).count()
+    }
+
+    /// Removes `id` if present (e.g. a node discovered to have failed).
+    /// Returns whether it was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let Some(pos) = self.index.remove(&id) else {
+            return false;
+        };
+        self.members.swap_remove(pos);
+        if pos < self.members.len() {
+            self.index.insert(self.members[pos], pos);
+        }
+        // Keep the round-robin cursor stable-ish: if we removed before it,
+        // pull it back so no entry is skipped.
+        if pos < self.cursor {
+            self.cursor -= 1;
+        }
+        if self.cursor >= self.members.len() {
+            self.cursor = 0;
+        }
+        true
+    }
+
+    /// A uniformly random member, if any.
+    pub fn sample(&self, rng: &mut SmallRng) -> Option<NodeId> {
+        if self.members.is_empty() {
+            None
+        } else {
+            Some(self.members[rng.gen_range(0..self.members.len())])
+        }
+    }
+
+    /// Up to `k` distinct uniformly random members (partial Fisher–Yates).
+    pub fn sample_k(&self, k: usize, rng: &mut SmallRng) -> Vec<NodeId> {
+        let k = k.min(self.members.len());
+        let mut pool = self.members.clone();
+        for i in 0..k {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// The next member in round-robin order, advancing the cursor. The
+    /// cursor wraps and tolerates concurrent insertions/removals.
+    pub fn next_round_robin(&mut self) -> Option<NodeId> {
+        if self.members.is_empty() {
+            return None;
+        }
+        if self.cursor >= self.members.len() {
+            self.cursor = 0;
+        }
+        let id = self.members[self.cursor];
+        self.cursor = (self.cursor + 1) % self.members.len();
+        Some(id)
+    }
+
+    /// Iterates over the members in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// A snapshot of the members (used when answering a join request).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.members.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn view_with(owner: u32, cap: usize, ids: &[u32]) -> (MemberView, SmallRng) {
+        let mut r = rng();
+        let mut v = MemberView::new(NodeId::new(owner), cap);
+        for &i in ids {
+            v.insert(NodeId::new(i), &mut r);
+        }
+        (v, r)
+    }
+
+    #[test]
+    fn never_contains_owner_or_duplicates() {
+        let (mut v, mut r) = view_with(0, 8, &[1, 2, 3]);
+        assert!(!v.insert(NodeId::new(0), &mut r));
+        assert!(!v.insert(NodeId::new(2), &mut r));
+        assert_eq!(v.len(), 3);
+        assert!(!v.contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn capacity_is_enforced_by_random_eviction() {
+        let (v, _) = view_with(0, 5, &(1..=50).collect::<Vec<_>>());
+        assert_eq!(v.len(), 5);
+        for id in v.iter() {
+            assert!(id.as_u32() >= 1 && id.as_u32() <= 50);
+        }
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let (mut v, _) = view_with(0, 8, &[1, 2, 3, 4, 5]);
+        assert!(v.remove(NodeId::new(2)));
+        assert!(!v.remove(NodeId::new(2)));
+        assert_eq!(v.len(), 4);
+        for id in [1u32, 3, 4, 5] {
+            assert!(v.contains(NodeId::new(id)), "missing {id}");
+        }
+        // Index still maps every member to its slot.
+        for (i, m) in v.members.iter().enumerate() {
+            assert_eq!(v.index[m], i);
+        }
+    }
+
+    #[test]
+    fn round_robin_covers_everyone() {
+        let (mut v, _) = view_with(0, 8, &[1, 2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(v.next_round_robin().unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+        // Wraps.
+        assert!(seen.contains(&v.next_round_robin().unwrap()));
+    }
+
+    #[test]
+    fn round_robin_survives_removals() {
+        let (mut v, _) = view_with(0, 8, &[1, 2, 3, 4, 5]);
+        let first = v.next_round_robin().unwrap();
+        v.remove(first);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(v.next_round_robin().unwrap());
+        }
+        assert_eq!(seen.len(), 4, "all remaining members visited");
+        assert!(!seen.contains(&first));
+    }
+
+    #[test]
+    fn sample_k_is_distinct_and_bounded() {
+        let (v, mut r) = view_with(0, 16, &(1..=10).collect::<Vec<_>>());
+        let s = v.sample_k(4, &mut r);
+        assert_eq!(s.len(), 4);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 4);
+        assert_eq!(v.sample_k(99, &mut r).len(), 10);
+        let (empty, mut r2) = view_with(0, 4, &[]);
+        assert!(empty.sample(&mut r2).is_none());
+        assert!(empty.sample_k(3, &mut r2).is_empty());
+    }
+
+    #[test]
+    fn merge_counts_new_entries() {
+        let (mut v, mut r) = view_with(0, 16, &[1, 2]);
+        let added = v.merge([1, 2, 3, 4, 0].map(NodeId::new), &mut r);
+        assert_eq!(added, 2);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let (v, mut r) = view_with(0, 32, &(1..=8).collect::<Vec<_>>());
+        let mut counts = HashMap::new();
+        for _ in 0..8000 {
+            *counts.entry(v.sample(&mut r).unwrap()).or_insert(0u32) += 1;
+        }
+        for (_, c) in counts {
+            assert!((700..1300).contains(&c), "count {c} far from uniform 1000");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = MemberView::new(NodeId::new(0), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Decentralized latency estimation (the paper's "triangular heuristic").
+//!
+//! A joining GoCast node must rank hundreds of member-list candidates by
+//! latency *without* pinging them all. The paper cites the triangular
+//! heuristic of Ng & Zhang [13] and omits details. We implement the standard
+//! landmark formulation: every node measures its RTT to a small fixed set of
+//! landmark nodes; the RTT between two nodes is then estimated from their
+//! landmark vectors using triangle-inequality bounds — for each landmark
+//! `i`, `|a_i - b_i| <= rtt(A,B) <= a_i + b_i` — taking the midpoint of the
+//! tightest bounds.
+//!
+//! Landmark vectors travel inside membership entries, so any node can rank
+//! any candidate it has heard of.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Default number of landmark nodes.
+pub const DEFAULT_LANDMARKS: usize = 8;
+
+/// A node's measured RTTs to the landmark set, in microseconds.
+///
+/// An empty vector means "not yet measured"; estimation then fails and the
+/// caller falls back to an arbitrary ordering (exactly the cold-start
+/// behaviour of the paper's protocol, which refines by real RTT probes
+/// anyway).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LandmarkVector {
+    rtt_us: Vec<u32>,
+}
+
+impl LandmarkVector {
+    /// An unmeasured (empty) vector.
+    pub fn unknown() -> Self {
+        LandmarkVector::default()
+    }
+
+    /// Builds a vector from measured landmark RTTs.
+    pub fn from_rtts<I: IntoIterator<Item = Duration>>(rtts: I) -> Self {
+        LandmarkVector {
+            rtt_us: rtts
+                .into_iter()
+                .map(|d| d.as_micros().min(u32::MAX as u128) as u32)
+                .collect(),
+        }
+    }
+
+    /// Number of landmarks measured.
+    pub fn len(&self) -> usize {
+        self.rtt_us.len()
+    }
+
+    /// Whether no landmarks have been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.rtt_us.is_empty()
+    }
+
+    /// Records the RTT to landmark `i`, growing the vector as needed.
+    pub fn set(&mut self, i: usize, rtt: Duration) {
+        if self.rtt_us.len() <= i {
+            self.rtt_us.resize(i + 1, u32::MAX);
+        }
+        self.rtt_us[i] = rtt.as_micros().min(u32::MAX as u128) as u32;
+    }
+
+    /// Whether every landmark slot up to `n` has been measured.
+    pub fn is_complete(&self, n: usize) -> bool {
+        self.rtt_us.len() >= n && self.rtt_us[..n].iter().all(|&v| v != u32::MAX)
+    }
+
+    /// Raw RTT of landmark slot `i` in microseconds (`u32::MAX` =
+    /// unmeasured). Used by wire codecs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn rtt_us_at(&self, i: usize) -> u32 {
+        self.rtt_us[i]
+    }
+
+    /// Estimates the RTT to a node with vector `other` via the triangular
+    /// heuristic. Returns `None` when either vector is empty or the vectors
+    /// share no measured landmark.
+    ///
+    /// ```
+    /// use gocast_net::LandmarkVector;
+    /// use std::time::Duration;
+    ///
+    /// let ms = |v| Duration::from_millis(v);
+    /// let a = LandmarkVector::from_rtts([ms(10), ms(100)]);
+    /// let b = LandmarkVector::from_rtts([ms(90), ms(20)]);
+    /// let est = a.estimate_rtt(&b).unwrap();
+    /// // Bounds: max(|10-90|, |100-20|) = 80 .. min(10+90, 100+20) = 100.
+    /// assert_eq!(est, ms(90));
+    /// ```
+    pub fn estimate_rtt(&self, other: &LandmarkVector) -> Option<Duration> {
+        let mut lower = 0u64;
+        let mut upper = u64::MAX;
+        let mut shared = false;
+        for (&a, &b) in self.rtt_us.iter().zip(&other.rtt_us) {
+            if a == u32::MAX || b == u32::MAX {
+                continue;
+            }
+            shared = true;
+            let (a, b) = (a as u64, b as u64);
+            lower = lower.max(a.abs_diff(b));
+            upper = upper.min(a + b);
+        }
+        if !shared {
+            return None;
+        }
+        // Noisy measurements can cross the bounds; midpoint still works.
+        let est = if upper >= lower {
+            (lower + upper) / 2
+        } else {
+            upper
+        };
+        Some(Duration::from_micros(est))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_vectors_yield_none() {
+        let a = LandmarkVector::unknown();
+        let b = LandmarkVector::from_rtts([ms(10)]);
+        assert_eq!(a.estimate_rtt(&b), None);
+        assert_eq!(b.estimate_rtt(&a), None);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn estimate_is_symmetric() {
+        let a = LandmarkVector::from_rtts([ms(10), ms(50), ms(200)]);
+        let b = LandmarkVector::from_rtts([ms(60), ms(55), ms(30)]);
+        assert_eq!(a.estimate_rtt(&b), b.estimate_rtt(&a));
+    }
+
+    #[test]
+    fn identical_vectors_estimate_small() {
+        // A node compared with a co-located node: lower bound 0, upper bound
+        // 2 * min RTT; midpoint = min RTT.
+        let a = LandmarkVector::from_rtts([ms(10), ms(40)]);
+        assert_eq!(a.estimate_rtt(&a), Some(ms(10)));
+    }
+
+    #[test]
+    fn set_grows_and_completes() {
+        let mut v = LandmarkVector::unknown();
+        v.set(2, ms(30));
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_complete(3), "slots 0 and 1 unmeasured");
+        v.set(0, ms(10));
+        v.set(1, ms(20));
+        assert!(v.is_complete(3));
+        assert!(!v.is_complete(4));
+    }
+
+    #[test]
+    fn unmeasured_slots_are_skipped() {
+        let mut a = LandmarkVector::unknown();
+        a.set(0, ms(10));
+        a.set(1, ms(99));
+        let mut b = LandmarkVector::unknown();
+        b.set(1, ms(99));
+        b.set(2, ms(5));
+        // Only landmark 1 is shared: bounds 0 .. 198ms, midpoint 99ms.
+        assert_eq!(a.estimate_rtt(&b), Some(ms(99)));
+    }
+
+    #[test]
+    fn closer_nodes_estimate_lower() {
+        // Geometry: landmarks at 0 and 100 on a line; nodes at 10, 20, 80.
+        let at = |x: i64| {
+            LandmarkVector::from_rtts([
+                Duration::from_millis(x.unsigned_abs()),
+                Duration::from_millis((100 - x).unsigned_abs()),
+            ])
+        };
+        let n10 = at(10);
+        let n20 = at(20);
+        let n80 = at(80);
+        let near = n10.estimate_rtt(&n20).unwrap();
+        let far = n10.estimate_rtt(&n80).unwrap();
+        assert!(near < far, "near={near:?} far={far:?}");
+    }
+}

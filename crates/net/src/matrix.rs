@@ -1,0 +1,191 @@
+//! Site-based latency matrices.
+//!
+//! The paper uses the King dataset: pairwise RTTs between 1,740 DNS server
+//! *sites*. Simulated nodes map onto sites ("When the number of simulated
+//! nodes is larger than the number of measured DNS servers, we simulate
+//! multiple nodes at a single DNS server site"). [`SiteLatencyMatrix`]
+//! reproduces that structure: an explicit symmetric site x site one-way
+//! latency table plus a node -> site map.
+
+use std::time::Duration;
+
+use gocast_sim::{LatencyModel, NodeId};
+
+/// One-way latencies between sites, with nodes assigned to sites.
+///
+/// Latencies are stored in microseconds (`u32`), which comfortably covers
+/// the paper's 399 ms maximum while keeping an 1,740 x 1,740 matrix at
+/// ~12 MB.
+#[derive(Debug, Clone)]
+pub struct SiteLatencyMatrix {
+    sites: usize,
+    /// Row-major `sites x sites` one-way latencies in microseconds.
+    lat_us: Vec<u32>,
+    /// `node -> site` assignment.
+    node_site: Vec<u32>,
+    /// One-way latency between two distinct nodes at the same site.
+    intra_site: Duration,
+}
+
+impl SiteLatencyMatrix {
+    /// Builds a matrix from a row-major `sites x sites` table of one-way
+    /// latencies in microseconds and a node-to-site assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lat_us.len() != sites * sites`, if the table is not
+    /// symmetric with a zero diagonal, or if any node maps to a site out of
+    /// range.
+    pub fn new(
+        sites: usize,
+        lat_us: Vec<u32>,
+        node_site: Vec<u32>,
+        intra_site: Duration,
+    ) -> Self {
+        assert_eq!(lat_us.len(), sites * sites, "latency table has wrong size");
+        for i in 0..sites {
+            assert_eq!(lat_us[i * sites + i], 0, "diagonal must be zero");
+            for j in (i + 1)..sites {
+                assert_eq!(
+                    lat_us[i * sites + j],
+                    lat_us[j * sites + i],
+                    "latency table must be symmetric"
+                );
+            }
+        }
+        for &s in &node_site {
+            assert!((s as usize) < sites, "node assigned to unknown site {s}");
+        }
+        SiteLatencyMatrix {
+            sites,
+            lat_us,
+            node_site,
+            intra_site,
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites
+    }
+
+    /// The site a node lives at.
+    pub fn site_of(&self, node: NodeId) -> u32 {
+        self.node_site[node.index()]
+    }
+
+    /// One-way latency between two sites.
+    pub fn site_latency(&self, a: u32, b: u32) -> Duration {
+        Duration::from_micros(self.lat_us[a as usize * self.sites + b as usize] as u64)
+    }
+
+    /// Mean one-way latency over all distinct site pairs.
+    pub fn mean_site_latency(&self) -> Duration {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for i in 0..self.sites {
+            for j in (i + 1)..self.sites {
+                sum += self.lat_us[i * self.sites + j] as u64;
+                count += 1;
+            }
+        }
+        match sum.checked_div(count) {
+            Some(v) => Duration::from_micros(v),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Maximum one-way latency over all site pairs.
+    pub fn max_site_latency(&self) -> Duration {
+        Duration::from_micros(self.lat_us.iter().copied().max().unwrap_or(0) as u64)
+    }
+}
+
+impl LatencyModel for SiteLatencyMatrix {
+    fn one_way(&self, a: NodeId, b: NodeId) -> Duration {
+        if a == b {
+            return Duration::ZERO;
+        }
+        let (sa, sb) = (self.node_site[a.index()], self.node_site[b.index()]);
+        if sa == sb {
+            self.intra_site
+        } else {
+            self.site_latency(sa, sb)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.node_site.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SiteLatencyMatrix {
+        // 3 sites: 0-1 = 10ms, 0-2 = 20ms, 1-2 = 30ms. 4 nodes, two at site 0.
+        let ms = |v: u32| v * 1000;
+        #[rustfmt::skip]
+        let lat = vec![
+            0,        ms(10), ms(20),
+            ms(10),   0,      ms(30),
+            ms(20),   ms(30), 0,
+        ];
+        SiteLatencyMatrix::new(3, lat, vec![0, 0, 1, 2], Duration::from_micros(500))
+    }
+
+    #[test]
+    fn node_latencies_follow_sites() {
+        let m = tiny();
+        let n = NodeId::new;
+        assert_eq!(m.one_way(n(0), n(2)), Duration::from_millis(10));
+        assert_eq!(m.one_way(n(2), n(3)), Duration::from_millis(30));
+        assert_eq!(m.one_way(n(0), n(1)), Duration::from_micros(500), "intra-site");
+        assert_eq!(m.one_way(n(3), n(3)), Duration::ZERO);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.site_count(), 3);
+        assert_eq!(m.site_of(n(3)), 2);
+    }
+
+    #[test]
+    fn symmetry_holds_for_nodes() {
+        let m = tiny();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert_eq!(
+                    m.one_way(NodeId::new(i), NodeId::new(j)),
+                    m.one_way(NodeId::new(j), NodeId::new(i))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let m = tiny();
+        assert_eq!(m.mean_site_latency(), Duration::from_millis(20));
+        assert_eq!(m.max_site_latency(), Duration::from_millis(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric_table() {
+        let lat = vec![0, 1, 2, 0];
+        let _ = SiteLatencyMatrix::new(2, lat, vec![0, 1], Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn rejects_nonzero_diagonal() {
+        let lat = vec![5, 1, 1, 0];
+        let _ = SiteLatencyMatrix::new(2, lat, vec![0, 1], Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn rejects_bad_assignment() {
+        let lat = vec![0, 1, 1, 0];
+        let _ = SiteLatencyMatrix::new(2, lat, vec![0, 9], Duration::ZERO);
+    }
+}

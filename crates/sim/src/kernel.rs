@@ -1,0 +1,565 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Sim`] owns the protocol instances, the event queue, the latency model,
+//! per-node RNGs, the traffic counters, and the event recorder. Execution is
+//! single-threaded and fully deterministic for a given seed: events at equal
+//! timestamps fire in scheduling order.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::id::NodeId;
+use crate::latency::LatencyModel;
+use crate::protocol::{Ctx, KernelEvent, Protocol, Timer};
+use crate::queue::EventQueue;
+use crate::recorder::{NullRecorder, Recorder};
+use crate::stats::TrafficStats;
+use crate::time::SimTime;
+
+/// Configures and constructs a [`Sim`].
+///
+/// ```
+/// use gocast_sim::{FixedLatency, SimBuilder};
+/// use std::time::Duration;
+///
+/// let builder = SimBuilder::new(FixedLatency::new(8, Duration::from_millis(10)))
+///     .seed(42)
+///     .track_pair_counts();
+/// # let _ = builder;
+/// ```
+pub struct SimBuilder {
+    net: Box<dyn LatencyModel>,
+    seed: u64,
+    pair_counts: bool,
+}
+
+impl std::fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("nodes", &self.net.len())
+            .field("seed", &self.seed)
+            .field("pair_counts", &self.pair_counts)
+            .finish()
+    }
+}
+
+impl SimBuilder {
+    /// Starts a builder over the given latency model. The model's node count
+    /// determines the simulation's node count.
+    pub fn new(net: impl LatencyModel + 'static) -> Self {
+        SimBuilder {
+            net: Box::new(net),
+            seed: 0,
+            pair_counts: false,
+        }
+    }
+
+    /// Sets the master seed. All per-node RNGs derive from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-endpoint-pair traffic counting (used for link stress).
+    pub fn track_pair_counts(mut self) -> Self {
+        self.pair_counts = true;
+        self
+    }
+
+    /// Builds the simulation, constructing one protocol instance per node
+    /// with `make`, and recording events with `recorder`.
+    pub fn build_with<P, R, F>(self, recorder: R, mut make: F) -> Sim<P, R>
+    where
+        P: Protocol,
+        R: Recorder<P::Event>,
+        F: FnMut(NodeId) -> P,
+    {
+        let n = self.net.len();
+        let nodes = (0..n).map(|i| Some(make(NodeId::new(i as u32)))).collect();
+        let rngs = (0..n)
+            .map(|i| SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9e3779b97f4a7c15) ^ i as u64))
+            .collect();
+        let mut stats = TrafficStats::new();
+        if self.pair_counts {
+            stats.enable_pair_counts();
+        }
+        Sim {
+            now: SimTime::ZERO,
+            nodes,
+            alive: vec![true; n],
+            rngs,
+            queue: EventQueue::new(),
+            net: self.net,
+            recorder,
+            stats,
+            failed_links: std::collections::HashSet::new(),
+            started: false,
+        }
+    }
+
+    /// Convenience: builds with a [`NullRecorder`].
+    pub fn build<P, F>(self, make: F) -> Sim<P, NullRecorder>
+    where
+        P: Protocol,
+        F: FnMut(NodeId) -> P,
+    {
+        self.build_with(NullRecorder, make)
+    }
+}
+
+/// A deterministic discrete-event simulation of `n` protocol instances.
+pub struct Sim<P: Protocol, R: Recorder<P::Event> = NullRecorder> {
+    now: SimTime,
+    nodes: Vec<Option<P>>,
+    alive: Vec<bool>,
+    rngs: Vec<SmallRng>,
+    queue: EventQueue<KernelEvent<P::Msg, P::Command>>,
+    net: Box<dyn LatencyModel>,
+    recorder: R,
+    stats: TrafficStats,
+    /// Currently failed links, as normalized `(min, max)` pairs.
+    failed_links: std::collections::HashSet<(NodeId, NodeId)>,
+    started: bool,
+}
+
+fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl<P: Protocol, R: Recorder<P::Event>> std::fmt::Debug for Sim<P, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
+    /// Number of nodes (alive or failed).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulation has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Ids of all currently alive nodes.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// Immutable access to a node's protocol state (available even after the
+    /// node failed — useful for post-mortem analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from within a handler for that same node.
+    pub fn node(&self, node: NodeId) -> &P {
+        self.nodes[node.index()]
+            .as_ref()
+            .expect("node is currently executing a handler")
+    }
+
+    /// Mutable access to a node's protocol state (test/ harness use).
+    pub fn node_mut(&mut self, node: NodeId) -> &mut P {
+        self.nodes[node.index()]
+            .as_mut()
+            .expect("node is currently executing a handler")
+    }
+
+    /// Iterates over `(id, state)` for every node.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i as u32), n.as_ref().expect("node in handler")))
+    }
+
+    /// The latency model driving this simulation.
+    pub fn latency_model(&self) -> &dyn LatencyModel {
+        self.net.as_ref()
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Resets traffic counters (e.g. to exclude warm-up traffic).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable access to the recorder.
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
+    /// Consumes the simulation, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
+    /// Schedules command `cmd` for `node` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: P::Command) {
+        assert!(at >= self.now, "cannot schedule a command in the past");
+        self.queue.schedule(at, KernelEvent::Command { node, cmd });
+    }
+
+    /// Injects a command for `node` at the current time.
+    pub fn command_now(&mut self, node: NodeId, cmd: P::Command) {
+        self.queue
+            .schedule(self.now, KernelEvent::Command { node, cmd });
+    }
+
+    /// Schedules a crash of `node` at absolute time `at`. From that instant
+    /// the node stops executing handlers and all traffic to it is dropped.
+    pub fn fail_node_at(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule a failure in the past");
+        self.queue.schedule(at, KernelEvent::Fail { node });
+    }
+
+    /// Crashes `node` immediately.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.alive[node.index()] = false;
+    }
+
+    /// Cuts the (bidirectional) network path between `a` and `b`
+    /// immediately: messages in either direction are silently dropped
+    /// until [`Sim::heal_link`].
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        self.failed_links.insert(link_key(a, b));
+    }
+
+    /// Restores a previously failed link.
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) {
+        self.failed_links.remove(&link_key(a, b));
+    }
+
+    /// Schedules a link cut at absolute time `at`.
+    pub fn fail_link_at(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        assert!(at >= self.now, "cannot schedule a link failure in the past");
+        self.queue
+            .schedule(at, KernelEvent::SetLink { a, b, up: false });
+    }
+
+    /// Schedules a link restore at absolute time `at`.
+    pub fn heal_link_at(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        assert!(at >= self.now, "cannot schedule a link heal in the past");
+        self.queue
+            .schedule(at, KernelEvent::SetLink { a, b, up: true });
+    }
+
+    /// Whether the path between `a` and `b` is currently cut.
+    pub fn is_link_failed(&self, a: NodeId, b: NodeId) -> bool {
+        self.failed_links.contains(&link_key(a, b))
+    }
+
+    /// Calls `on_start` on every alive node, once. Run methods call this
+    /// implicitly.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            if self.alive[i] {
+                self.dispatch_start(NodeId::new(i as u32));
+            }
+        }
+    }
+
+    /// Processes events until the queue is exhausted.
+    ///
+    /// Periodic protocols never go idle; prefer [`Sim::run_until`] for them.
+    pub fn run_until_idle(&mut self) {
+        self.start();
+        while self.step() {}
+    }
+
+    /// Processes all events scheduled at or before `deadline`, then advances
+    /// the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start();
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+        }
+        debug_assert!(self.now <= deadline);
+        self.now = deadline;
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: std::time::Duration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        match ev.payload {
+            KernelEvent::Deliver { from, to, msg } => {
+                if !self.alive[to.index()] || self.failed_links.contains(&link_key(from, to)) {
+                    self.stats.record_drop_to_dead();
+                } else {
+                    self.dispatch_message(to, from, msg);
+                }
+            }
+            KernelEvent::Fire { node, timer } => {
+                if self.alive[node.index()] {
+                    self.dispatch_timer(node, timer);
+                }
+            }
+            KernelEvent::Command { node, cmd } => {
+                if self.alive[node.index()] {
+                    self.dispatch_command(node, cmd);
+                }
+            }
+            KernelEvent::Fail { node } => {
+                self.alive[node.index()] = false;
+            }
+            KernelEvent::SetLink { a, b, up } => {
+                if up {
+                    self.heal_link(a, b);
+                } else {
+                    self.fail_link(a, b);
+                }
+            }
+        }
+        true
+    }
+
+    fn with_ctx<F: FnOnce(&mut P, &mut Ctx<'_, P>)>(&mut self, node: NodeId, f: F) {
+        let i = node.index();
+        let mut p = self.nodes[i].take().expect("reentrant handler dispatch");
+        let mut ctx = Ctx::for_sim(
+            node,
+            self.now,
+            &mut self.rngs[i],
+            &mut self.queue,
+            self.net.as_ref(),
+            &mut self.recorder,
+            &mut self.stats,
+        );
+        f(&mut p, &mut ctx);
+        self.nodes[i] = Some(p);
+    }
+
+    fn dispatch_start(&mut self, node: NodeId) {
+        self.with_ctx(node, |p, ctx| p.on_start(ctx));
+    }
+
+    fn dispatch_message(&mut self, node: NodeId, from: NodeId, msg: P::Msg) {
+        self.with_ctx(node, |p, ctx| p.on_message(ctx, from, msg));
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, timer: Timer) {
+        self.with_ctx(node, |p, ctx| p.on_timer(ctx, timer));
+    }
+
+    fn dispatch_command(&mut self, node: NodeId, cmd: P::Command) {
+        self.with_ctx(node, |p, ctx| p.on_command(ctx, cmd));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::FixedLatency;
+    use crate::protocol::Wire;
+    use crate::recorder::VecRecorder;
+    use crate::stats::TrafficClass;
+    use std::time::Duration;
+
+    /// A toy protocol: floods a token around a ring, one hop per message.
+    struct Ring {
+        id: NodeId,
+        n: u32,
+        hops_seen: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Hop(u32);
+
+    impl Wire for Hop {
+        fn wire_size(&self) -> u32 {
+            8
+        }
+        fn class(&self) -> TrafficClass {
+            TrafficClass::Data
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum RingEvent {
+        Received(u32),
+    }
+
+    impl Protocol for Ring {
+        type Msg = Hop;
+        type Command = ();
+        type Event = RingEvent;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+            if self.id == NodeId::new(0) {
+                let next = NodeId::new((self.id.as_u32() + 1) % self.n);
+                ctx.send(next, Hop(0));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, _from: NodeId, msg: Hop) {
+            self.hops_seen += 1;
+            ctx.emit(RingEvent::Received(msg.0));
+            if msg.0 < 3 * self.n {
+                let next = NodeId::new((self.id.as_u32() + 1) % self.n);
+                ctx.send(next, Hop(msg.0 + 1));
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _timer: Timer) {}
+    }
+
+    fn ring_sim(n: u32, seed: u64) -> Sim<Ring, VecRecorder<RingEvent>> {
+        SimBuilder::new(FixedLatency::new(n as usize, Duration::from_millis(10)))
+            .seed(seed)
+            .build_with(VecRecorder::new(), |id| Ring {
+                id,
+                n,
+                hops_seen: 0,
+            })
+    }
+
+    #[test]
+    fn token_circulates_and_time_advances() {
+        let mut sim = ring_sim(4, 1);
+        sim.run_until_idle();
+        // 3n + 1 = 13 hops, each 10ms.
+        assert_eq!(sim.now(), SimTime::from_millis(130));
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 13);
+        assert_eq!(sim.recorder().events.len(), 13);
+        assert_eq!(sim.stats().class(TrafficClass::Data).messages, 13);
+        assert_eq!(sim.stats().class(TrafficClass::Data).bytes, 13 * 8);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = ring_sim(4, 1);
+        sim.run_until(SimTime::from_millis(35));
+        assert_eq!(sim.now(), SimTime::from_millis(35));
+        // Hops at 10, 20, 30 ms have fired.
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 3);
+        sim.run_until_idle();
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn failed_node_drops_traffic() {
+        let mut sim = ring_sim(4, 1);
+        sim.fail_node_at(SimTime::from_millis(15), NodeId::new(2));
+        sim.run_until_idle();
+        // Hop 0 reaches n1 at 10ms, hop 1 is in flight to n2, which dies at
+        // 15ms; the message is dropped at 20ms and the ring stops.
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 1);
+        assert_eq!(sim.stats().dropped_to_dead(), 1);
+        assert!(!sim.is_alive(NodeId::new(2)));
+        assert_eq!(sim.alive_nodes().count(), 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let mut a = ring_sim(5, 7);
+        let mut b = ring_sim(5, 7);
+        a.run_until_idle();
+        b.run_until_idle();
+        assert_eq!(a.recorder().events, b.recorder().events);
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn node_state_remains_accessible_after_failure() {
+        let mut sim = ring_sim(3, 1);
+        sim.run_until(SimTime::from_millis(25));
+        sim.fail_node(NodeId::new(1));
+        assert!(sim.node(NodeId::new(1)).hops_seen > 0);
+    }
+
+    #[test]
+    fn failed_link_drops_traffic_both_ways_until_healed() {
+        let mut sim = ring_sim(4, 1);
+        // Cut 1 -> 2 from the start; the token dies on that hop.
+        sim.fail_link(NodeId::new(1), NodeId::new(2));
+        assert!(sim.is_link_failed(NodeId::new(2), NodeId::new(1)), "undirected");
+        sim.run_until(SimTime::from_millis(100));
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 1, "only the first hop (0 -> 1) delivers");
+        assert_eq!(sim.stats().dropped_to_dead(), 1);
+        // Healing restores nothing retroactively (the message was lost),
+        // but future traffic flows.
+        sim.heal_link(NodeId::new(1), NodeId::new(2));
+        assert!(!sim.is_link_failed(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn scheduled_link_failure_fires_at_time() {
+        let mut sim = ring_sim(4, 1);
+        // Cut 2 -> 3 at 25 ms: hops at 10 (0->1), 20 (1->2) deliver; the
+        // 2->3 delivery at 30 ms is dropped.
+        sim.fail_link_at(SimTime::from_millis(25), NodeId::new(2), NodeId::new(3));
+        sim.run_until_idle();
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 2);
+        // Heal scheduling works too.
+        sim.heal_link_at(sim.now(), NodeId::new(2), NodeId::new(3));
+        sim.run_until_idle();
+        assert!(!sim.is_link_failed(NodeId::new(2), NodeId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = ring_sim(3, 1);
+        sim.run_until(SimTime::from_millis(50));
+        sim.schedule_command(SimTime::from_millis(10), NodeId::new(0), ());
+    }
+}

@@ -1,0 +1,105 @@
+//! Event recording.
+//!
+//! Protocols emit structured events (message delivered, link added, ...)
+//! through [`crate::Ctx::emit`]. A [`Recorder`] receives them as they happen;
+//! offline analysis then consumes the recorded stream.
+
+use crate::id::NodeId;
+use crate::time::SimTime;
+
+/// Receives protocol events as the simulation executes.
+///
+/// The event type `E` is chosen by the protocol ([`crate::Protocol::Event`]).
+pub trait Recorder<E> {
+    /// Called once per emitted event, in simulation order.
+    fn record(&mut self, now: SimTime, node: NodeId, event: E);
+}
+
+/// Discards all events. The default recorder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl<E> Recorder<E> for NullRecorder {
+    fn record(&mut self, _now: SimTime, _node: NodeId, _event: E) {}
+}
+
+/// Buffers every event in memory.
+///
+/// ```
+/// use gocast_sim::{NodeId, Recorder, SimTime, VecRecorder};
+///
+/// let mut r = VecRecorder::new();
+/// r.record(SimTime::ZERO, NodeId::new(1), "hello");
+/// assert_eq!(r.events.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecRecorder<E> {
+    /// The recorded `(time, node, event)` triples, in emission order.
+    pub events: Vec<(SimTime, NodeId, E)>,
+}
+
+impl<E> VecRecorder<E> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        VecRecorder { events: Vec::new() }
+    }
+}
+
+impl<E> Default for VecRecorder<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Recorder<E> for VecRecorder<E> {
+    fn record(&mut self, now: SimTime, node: NodeId, event: E) {
+        self.events.push((now, node, event));
+    }
+}
+
+/// Applies a closure to each event, for streaming aggregation without
+/// buffering.
+#[derive(Debug)]
+pub struct FnRecorder<F>(pub F);
+
+impl<E, F: FnMut(SimTime, NodeId, E)> Recorder<E> for FnRecorder<F> {
+    fn record(&mut self, now: SimTime, node: NodeId, event: E) {
+        (self.0)(now, node, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_recorder_buffers_in_order() {
+        let mut r = VecRecorder::new();
+        r.record(SimTime::from_nanos(1), NodeId::new(0), 10u32);
+        r.record(SimTime::from_nanos(2), NodeId::new(1), 20);
+        assert_eq!(
+            r.events,
+            vec![
+                (SimTime::from_nanos(1), NodeId::new(0), 10),
+                (SimTime::from_nanos(2), NodeId::new(1), 20)
+            ]
+        );
+    }
+
+    #[test]
+    fn null_recorder_accepts_anything() {
+        let mut r = NullRecorder;
+        Recorder::<&str>::record(&mut r, SimTime::ZERO, NodeId::new(0), "x");
+    }
+
+    #[test]
+    fn fn_recorder_streams() {
+        let mut count = 0u32;
+        {
+            let mut r = FnRecorder(|_, _, v: u32| count += v);
+            r.record(SimTime::ZERO, NodeId::new(0), 2);
+            r.record(SimTime::ZERO, NodeId::new(0), 3);
+        }
+        assert_eq!(count, 5);
+    }
+}

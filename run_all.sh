@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+for exp in fig1 fig5a fig5b ext1 ext2 txt2 fig6 fig3a fig3b txt1 ext5 ext4 ablate fig4 ext3; do
+  echo "=== $exp start $(date +%T) ==="
+  ./target/release/gocast-experiments $exp > logs/$exp.log 2>&1 || echo "FAILED: $exp"
+  echo "=== $exp done $(date +%T) ==="
+done
+echo ALL_DONE

@@ -1,0 +1,11 @@
+#!/bin/bash
+cd /root/repo
+# Wait for the main suite.
+while ! grep -q ALL_DONE logs/run_all.log 2>/dev/null; do sleep 20; done
+cargo build --release -p gocast-experiments >> logs/followup.log 2>&1
+for exp in fig3a fig3b ext4 ext5 txt2 txt4 adaptive fig5b fig1; do
+  echo "=== $exp start $(date +%T) ===" >> logs/followup.log
+  ./target/release/gocast-experiments $exp > logs/$exp.log 2>&1 || echo "FAILED: $exp" >> logs/followup.log
+  echo "=== $exp done $(date +%T) ===" >> logs/followup.log
+done
+echo FOLLOWUP_DONE >> logs/followup.log

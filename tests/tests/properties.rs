@@ -1,0 +1,270 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use gocast::{DegreeInfo, GoCastMsg, LinkKind, MsgId, ProbeKind, HEADER_BYTES};
+use gocast_analysis::{component_sizes, largest_component_fraction, Cdf, Histogram};
+use gocast_sim::Wire as _;
+use gocast_membership::MemberView;
+use gocast_net::{synthetic_king, LandmarkVector, SyntheticKingConfig};
+use gocast_sim::{EventQueue, LatencyModel, NodeId, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Event queue: a deterministic priority queue.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, i));
+        }
+        let mut prev: Option<(u64, usize)> = None;
+        while let Some(ev) = q.pop() {
+            let (t, i) = ev.payload;
+            prop_assert_eq!(ev.at, SimTime::from_nanos(t));
+            if let Some((pt, pi)) = prev {
+                prop_assert!(pt <= t, "time order violated");
+                if pt == t {
+                    prop_assert!(pi < i, "insertion order violated on tie");
+                }
+            }
+            prev = Some((t, i));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Member view: bounded, self-free, duplicate-free under any op mix.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn member_view_invariants_under_random_ops(
+        ops in proptest::collection::vec((0u8..3, 0u32..64), 1..300),
+        cap in 1usize..24,
+    ) {
+        let owner = NodeId::new(7);
+        let mut view = MemberView::new(owner, cap);
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        for (op, id) in ops {
+            let id = NodeId::new(id);
+            match op {
+                0 => { view.insert(id, &mut rng); }
+                1 => { view.remove(id); }
+                _ => { view.next_round_robin(); }
+            }
+            prop_assert!(view.len() <= cap);
+            prop_assert!(!view.contains(owner));
+            let seen: HashSet<_> = view.iter().collect();
+            prop_assert_eq!(seen.len(), view.len(), "duplicates in view");
+        }
+    }
+
+    #[test]
+    fn member_view_round_robin_is_fair(ids in proptest::collection::hash_set(0u32..100, 1..30)) {
+        let mut rng = rand::SeedableRng::seed_from_u64(2);
+        let mut view = MemberView::new(NodeId::new(200), 64);
+        for &id in &ids {
+            view.insert(NodeId::new(id), &mut rng);
+        }
+        let k = view.len();
+        let mut seen = HashSet::new();
+        for _ in 0..k {
+            seen.insert(view.next_round_robin().unwrap());
+        }
+        prop_assert_eq!(seen.len(), k, "one full cycle must visit every member once");
+    }
+
+    // ------------------------------------------------------------------
+    // CDF: order statistics behave.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cdf_percentiles_are_monotone(mut vals in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let cdf = Cdf::from_durations(vals.iter().map(|&v| Duration::from_nanos(v)));
+        let mut prev = Duration::ZERO;
+        for i in 0..=10 {
+            let p = cdf.percentile(i as f64 / 10.0);
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+        vals.sort_unstable();
+        prop_assert_eq!(cdf.min(), Duration::from_nanos(vals[0]));
+        prop_assert_eq!(cdf.max(), Duration::from_nanos(*vals.last().unwrap()));
+        prop_assert!(cdf.mean() >= cdf.min() && cdf.mean() <= cdf.max());
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one(vals in proptest::collection::vec(0usize..12, 1..300)) {
+        let h = Histogram::from_values(vals.iter().copied());
+        let total: f64 = (0..=h.max_value()).map(|v| h.fraction(v)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((h.cumulative_fraction(h.max_value()) - 1.0).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Graph analysis: components partition the live nodes.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn components_partition_live_nodes(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120),
+        dead in proptest::collection::hash_set(0u32..40, 0..10),
+    ) {
+        let n = 40;
+        let mut adj = vec![Vec::new(); n];
+        for (a, b) in edges {
+            if a != b {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        let alive: Vec<bool> = (0..n as u32).map(|i| !dead.contains(&i)).collect();
+        let sizes = component_sizes(&adj, &alive);
+        let live = alive.iter().filter(|&&a| a).count();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), live, "components must cover live nodes");
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1], "sizes sorted descending");
+        }
+        let q = largest_component_fraction(&adj, &alive);
+        prop_assert!((0.0..=1.0).contains(&q) || live == 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Latency models: symmetry, zero diagonal, calibration bounds.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn synthetic_king_is_a_valid_latency_model(seed in 0u64..50, nodes in 2usize..40) {
+        let cfg = SyntheticKingConfig { sites: 48, seed, ..Default::default() };
+        let net = synthetic_king(nodes, &cfg);
+        prop_assert_eq!(net.len(), nodes);
+        for i in 0..nodes as u32 {
+            prop_assert_eq!(net.one_way(NodeId::new(i), NodeId::new(i)), Duration::ZERO);
+            for j in (i + 1)..nodes as u32 {
+                let a = net.one_way(NodeId::new(i), NodeId::new(j));
+                let b = net.one_way(NodeId::new(j), NodeId::new(i));
+                prop_assert_eq!(a, b, "symmetry");
+                prop_assert!(a <= Duration::from_millis(399), "cap");
+                prop_assert!(a > Duration::ZERO, "distinct nodes have latency");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wire codec: arbitrary messages round-trip and the accounted size is
+    // exactly what the codec produces.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn codec_roundtrip_and_exact_size(
+        variant in 0u8..6,
+        origin in 0u32..1000,
+        seq in 0u32..10_000,
+        age in 0u64..10_000_000,
+        size in 0u32..100_000,
+        ids in proptest::collection::vec((0u32..100, 0u32..100, 0u64..1_000_000), 0..20),
+        rtts in proptest::collection::vec(0u64..400_000, 0..8),
+        degs in (0u16..20, 0u16..20, 1u16..20, 1u16..20),
+    ) {
+        let coords = LandmarkVector::from_rtts(
+            rtts.iter().map(|&v| Duration::from_micros(v)),
+        );
+        let degrees = DegreeInfo { d_rand: degs.0, d_near: degs.1, t_rand: degs.2, t_near: degs.3 };
+        let id = MsgId::new(NodeId::new(origin), seq);
+        let msg = match variant {
+            0 => GoCastMsg::Data { id, age_us: age, size },
+            1 => GoCastMsg::Gossip {
+                ids: ids.iter().map(|&(o, s, a)| (MsgId::new(NodeId::new(o), s), a)).collect(),
+                members: vec![(NodeId::new(origin), coords.clone())],
+                coords: coords.clone(),
+                degrees,
+            },
+            2 => GoCastMsg::PullRequest {
+                ids: ids.iter().map(|&(o, s, _)| MsgId::new(NodeId::new(o), s)).collect(),
+            },
+            3 => GoCastMsg::Pong {
+                kind: ProbeKind::Landmark((seq % 16) as u16),
+                sent_at_us: age,
+                degrees,
+                max_nearby_rtt_us: age * 2,
+                coords,
+            },
+            4 => GoCastMsg::LinkRequest {
+                kind: if seq % 2 == 0 { LinkKind::Random } else { LinkKind::Nearby },
+                rtt_us: (age % 2 == 0).then_some(age),
+                degrees,
+            },
+            _ => GoCastMsg::TreeAd {
+                root: NodeId::new(origin),
+                epoch: seq,
+                seq: seq / 2,
+                dist_us: age,
+            },
+        };
+        let bytes = gocast::encode(&msg);
+        prop_assert_eq!(gocast::decode(&bytes).unwrap(), msg.clone());
+        let payload = match &msg {
+            GoCastMsg::Data { size, .. } => *size,
+            _ => 0,
+        };
+        prop_assert_eq!(
+            msg.wire_size(),
+            HEADER_BYTES + bytes.len() as u32 + payload,
+            "accounted size must equal encoded size"
+        );
+    }
+
+    #[test]
+    fn codec_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Hostile datagrams must produce an error, never a panic or an
+        // absurd allocation.
+        let _ = gocast::decode(&bytes);
+    }
+
+    #[test]
+    fn codec_rejects_every_truncation(
+        seq in 0u32..100,
+        rtts in proptest::collection::vec(0u64..100_000, 0..6),
+    ) {
+        let msg = GoCastMsg::Pong {
+            kind: ProbeKind::Candidate,
+            sent_at_us: seq as u64 * 17,
+            degrees: DegreeInfo { d_rand: 1, d_near: 5, t_rand: 1, t_near: 5 },
+            max_nearby_rtt_us: 12345,
+            coords: LandmarkVector::from_rtts(rtts.iter().map(|&v| Duration::from_micros(v))),
+        };
+        let bytes = gocast::encode(&msg);
+        for cut in 0..bytes.len() {
+            prop_assert!(gocast::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Landmark estimation: triangle-bound midpoints are symmetric and
+    // respect the bounds.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn landmark_estimates_are_symmetric_and_bounded(
+        a in proptest::collection::vec(0u64..400_000, 1..8),
+        b in proptest::collection::vec(0u64..400_000, 1..8),
+    ) {
+        let va = LandmarkVector::from_rtts(a.iter().map(|&v| Duration::from_micros(v)));
+        let vb = LandmarkVector::from_rtts(b.iter().map(|&v| Duration::from_micros(v)));
+        let ab = va.estimate_rtt(&vb);
+        prop_assert_eq!(ab, vb.estimate_rtt(&va));
+        if let Some(est) = ab {
+            let shared = a.len().min(b.len());
+            let lower = (0..shared).map(|i| a[i].abs_diff(b[i])).max().unwrap();
+            let upper = (0..shared).map(|i| a[i] + b[i]).min().unwrap();
+            let est_us = est.as_micros() as u64;
+            if upper >= lower {
+                prop_assert!(est_us >= lower && est_us <= upper, "estimate within triangle bounds");
+            }
+        }
+    }
+}
