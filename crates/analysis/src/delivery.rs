@@ -1,17 +1,38 @@
 //! Streaming delivery metrics.
 //!
-//! [`MetricsRecorder`] implements [`Recorder<GoCastEvent>`] and aggregates
-//! while the simulation runs, so paper-scale runs (8,192 nodes x 1,000
-//! messages = millions of deliveries) never buffer raw event lists.
+//! Two layers, both implementing [`Recorder<GoCastEvent>`] and both
+//! memory-bounded:
 //!
-//! It produces exactly the quantities the paper's figures plot:
+//! - [`DeliveryTracker`] folds delivery events into per-node latency
+//!   aggregates, an all-delays [`DelayHistogram`], and redundancy / pull
+//!   counters as the simulation runs. State is O(nodes + messages)
+//!   (messages only for injection timestamps), never O(deliveries).
+//! - [`MetricsRecorder`] composes a `DeliveryTracker` with a 1-second
+//!   [`TimeSeriesRecorder`] for link churn — everything the paper's
+//!   figures need from one run, in one recorder.
 //!
-//! - per-(node, message) delivery delays and their CDF (Figures 3, 4);
+//! They produce exactly the quantities the paper's figures plot:
+//!
+//! - per-(node, message) delivery delays and their distribution
+//!   (Figures 3, 4);
 //! - per-node *average* delay and completeness (nodes that missed a
 //!   message are reported separately — the reason the paper's gossip
 //!   curves saturate below 1.0);
 //! - redundancy (§2.1's 1.02 factor) and pull counts;
 //! - link-churn and parent-change time series (Figure 5, §3 summary (1)).
+//!
+//! ## Migration from buffered recording
+//!
+//! `MetricsRecorder` used to keep every (node, message) delay in a
+//! `Vec<Duration>` to serve `delay_cdf()` — O(deliveries) memory, ~67 MB
+//! for the paper's 8,192-node x 1,000-message configuration. That method
+//! is replaced by [`MetricsRecorder::delay_histogram`], which answers the
+//! same percentile / mean / max queries from a fixed-size log-scale
+//! histogram (exact mean/min/max, ≈3% percentile error). The per-node
+//! averages behind the figure CSVs were always exact O(nodes) math and
+//! are unchanged — figure output is byte-identical. If a test needs the
+//! raw event stream, record into a `VecRecorder` (optionally `.tee(..)`'d
+//! with a tracker) — see `gocast_sim::recorder`.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -19,7 +40,8 @@ use std::time::Duration;
 use gocast::{GoCastEvent, MsgId};
 use gocast_sim::{NodeId, Recorder, SimTime};
 
-use crate::stats::Cdf;
+use crate::stats::{Cdf, DelayHistogram};
+use crate::timeseries::TimeSeriesRecorder;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct NodeAgg {
@@ -30,27 +52,29 @@ struct NodeAgg {
     max_delay: Duration,
 }
 
-/// Streaming aggregation of [`GoCastEvent`]s.
+/// Streaming per-node delivery aggregation (see the [module docs](self)).
+///
+/// Holds O(nodes + messages) state regardless of how many deliveries the
+/// run produces; every statistic is folded in online via
+/// [`Recorder::record`].
 #[derive(Debug, Default)]
-pub struct MetricsRecorder {
+pub struct DeliveryTracker {
     inject_time: HashMap<MsgId, SimTime>,
     per_node: Vec<NodeAgg>,
-    delays: Vec<Duration>,
+    delays: DelayHistogram,
     injected: u64,
     delivered: u64,
     redundant: u64,
     pulls: u64,
     delivered_via_tree: u64,
-    /// Link additions+drops bucketed per second of sim time.
-    link_changes_per_sec: Vec<u64>,
     parent_changes: u64,
     root_takeovers: u64,
 }
 
-impl MetricsRecorder {
-    /// An empty recorder.
+impl DeliveryTracker {
+    /// An empty tracker.
     pub fn new() -> Self {
-        MetricsRecorder::default()
+        DeliveryTracker::default()
     }
 
     fn node_mut(&mut self, node: NodeId) -> &mut NodeAgg {
@@ -108,9 +132,12 @@ impl MetricsRecorder {
         self.root_takeovers
     }
 
-    /// CDF over every (node, message) delivery delay.
-    pub fn delay_cdf(&self) -> Cdf {
-        Cdf::from_durations(self.delays.iter().copied())
+    /// Streaming distribution over every (node, message) delivery delay.
+    ///
+    /// Exact `len`/`mean`/`min`/`max`; percentiles within ≈3% (see
+    /// [`DelayHistogram`]).
+    pub fn delay_histogram(&self) -> &DelayHistogram {
+        &self.delays
     }
 
     /// Per-node average delivery delay (the paper's Figure 3 metric).
@@ -120,15 +147,14 @@ impl MetricsRecorder {
     /// value counts nodes that missed at least one of the `expected`
     /// messages (self-originated messages count as obtained) — the reason
     /// the paper's gossip curves saturate below 1.0.
+    ///
+    /// This is exact O(nodes) math on streamed sums, so the figure CSVs
+    /// built from it are byte-identical to post-hoc computation.
     pub fn per_node_average_delays(&self, expected: u64, nodes: &[NodeId]) -> (Cdf, usize) {
         let mut avgs = Vec::new();
         let mut incomplete = 0;
         for &id in nodes {
-            let agg = self
-                .per_node
-                .get(id.index())
-                .copied()
-                .unwrap_or_default();
+            let agg = self.per_node.get(id.index()).copied().unwrap_or_default();
             if agg.received + agg.originated < expected || expected == 0 {
                 incomplete += 1;
             }
@@ -146,15 +172,9 @@ impl MetricsRecorder {
             .map(|a| a.received)
             .unwrap_or(0)
     }
-
-    /// Link changes (adds + drops, summed over nodes — each endpoint
-    /// counts) bucketed per second.
-    pub fn link_changes_per_sec(&self) -> &[u64] {
-        &self.link_changes_per_sec
-    }
 }
 
-impl Recorder<GoCastEvent> for MetricsRecorder {
+impl Recorder<GoCastEvent> for DeliveryTracker {
     fn record(&mut self, now: SimTime, node: NodeId, event: GoCastEvent) {
         match event {
             GoCastEvent::Injected { id } => {
@@ -169,7 +189,7 @@ impl Recorder<GoCastEvent> for MetricsRecorder {
                 }
                 if let Some(&t0) = self.inject_time.get(&id) {
                     let delay = now.saturating_since(t0);
-                    self.delays.push(delay);
+                    self.delays.add(delay);
                     let agg = self.node_mut(node);
                     agg.delay_sum += delay;
                     agg.received += 1;
@@ -178,16 +198,129 @@ impl Recorder<GoCastEvent> for MetricsRecorder {
             }
             GoCastEvent::RedundantData { .. } => self.redundant += 1,
             GoCastEvent::PullRequested { .. } => self.pulls += 1,
-            GoCastEvent::LinkAdded { .. } | GoCastEvent::LinkDropped { .. } => {
-                let sec = (now.as_nanos() / 1_000_000_000) as usize;
-                if self.link_changes_per_sec.len() <= sec {
-                    self.link_changes_per_sec.resize(sec + 1, 0);
-                }
-                self.link_changes_per_sec[sec] += 1;
-            }
             GoCastEvent::ParentChanged { .. } => self.parent_changes += 1,
             GoCastEvent::BecameRoot { .. } => self.root_takeovers += 1,
+            GoCastEvent::LinkAdded { .. } | GoCastEvent::LinkDropped { .. } => {}
         }
+    }
+}
+
+fn is_link_change(_now: SimTime, _node: NodeId, event: &GoCastEvent) -> bool {
+    matches!(
+        event,
+        GoCastEvent::LinkAdded { .. } | GoCastEvent::LinkDropped { .. }
+    )
+}
+
+/// The selector type behind [`MetricsRecorder`]'s link-churn series.
+pub type LinkChurnSelect = fn(SimTime, NodeId, &GoCastEvent) -> bool;
+
+/// Everything the paper's figures need from one run: a
+/// [`DeliveryTracker`] composed with a 1-second link-churn
+/// [`TimeSeriesRecorder`].
+///
+/// Peak recorder state is O(nodes + messages + seconds of sim time).
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    delivery: DeliveryTracker,
+    link_churn: TimeSeriesRecorder<LinkChurnSelect>,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        MetricsRecorder {
+            delivery: DeliveryTracker::new(),
+            link_churn: TimeSeriesRecorder::new(Duration::from_secs(1), is_link_change),
+        }
+    }
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    /// The delivery-side aggregates.
+    pub fn delivery(&self) -> &DeliveryTracker {
+        &self.delivery
+    }
+
+    /// The link-churn time series (1-second windows).
+    pub fn link_churn(&self) -> &TimeSeriesRecorder<LinkChurnSelect> {
+        &self.link_churn
+    }
+
+    /// Number of messages injected.
+    pub fn injected(&self) -> u64 {
+        self.delivery.injected()
+    }
+
+    /// Total first deliveries across nodes.
+    pub fn delivered(&self) -> u64 {
+        self.delivery.delivered()
+    }
+
+    /// Redundant full-payload receptions.
+    pub fn redundant(&self) -> u64 {
+        self.delivery.redundant()
+    }
+
+    /// Average number of times a node received each message
+    /// (`1 + redundant/delivered`; the paper reports 1.02).
+    pub fn redundancy_factor(&self) -> f64 {
+        self.delivery.redundancy_factor()
+    }
+
+    /// Fraction of deliveries that arrived over a tree link.
+    pub fn tree_fraction(&self) -> f64 {
+        self.delivery.tree_fraction()
+    }
+
+    /// Pull requests issued.
+    pub fn pulls(&self) -> u64 {
+        self.delivery.pulls()
+    }
+
+    /// Tree parent changes observed.
+    pub fn parent_changes(&self) -> u64 {
+        self.delivery.parent_changes()
+    }
+
+    /// Root takeovers observed (failovers; the initial root counts once).
+    pub fn root_takeovers(&self) -> u64 {
+        self.delivery.root_takeovers()
+    }
+
+    /// Streaming distribution over every (node, message) delivery delay
+    /// (replaces the former `delay_cdf()`; see the
+    /// [module docs](self#migration-from-buffered-recording)).
+    pub fn delay_histogram(&self) -> &DelayHistogram {
+        self.delivery.delay_histogram()
+    }
+
+    /// Per-node average delivery delay — see
+    /// [`DeliveryTracker::per_node_average_delays`].
+    pub fn per_node_average_delays(&self, expected: u64, nodes: &[NodeId]) -> (Cdf, usize) {
+        self.delivery.per_node_average_delays(expected, nodes)
+    }
+
+    /// Messages received by `node`.
+    pub fn received_by(&self, node: NodeId) -> u64 {
+        self.delivery.received_by(node)
+    }
+
+    /// Link changes (adds + drops, summed over nodes — each endpoint
+    /// counts) bucketed per second.
+    pub fn link_changes_per_sec(&self) -> &[u64] {
+        self.link_churn.series()
+    }
+}
+
+impl Recorder<GoCastEvent> for MetricsRecorder {
+    fn record(&mut self, now: SimTime, node: NodeId, event: GoCastEvent) {
+        self.link_churn.record(now, node, event.clone());
+        self.delivery.record(now, node, event);
     }
 }
 
@@ -203,16 +336,26 @@ mod tests {
     #[test]
     fn tracks_delays_and_redundancy() {
         let mut m = MetricsRecorder::new();
-        m.record(SimTime::from_millis(0), NodeId::new(0), GoCastEvent::Injected { id: id(1) });
+        m.record(
+            SimTime::from_millis(0),
+            NodeId::new(0),
+            GoCastEvent::Injected { id: id(1) },
+        );
         m.record(
             SimTime::from_millis(50),
             NodeId::new(1),
-            GoCastEvent::Delivered { id: id(1), via: DeliveryPath::Tree },
+            GoCastEvent::Delivered {
+                id: id(1),
+                via: DeliveryPath::Tree,
+            },
         );
         m.record(
             SimTime::from_millis(150),
             NodeId::new(2),
-            GoCastEvent::Delivered { id: id(1), via: DeliveryPath::Pull },
+            GoCastEvent::Delivered {
+                id: id(1),
+                via: DeliveryPath::Pull,
+            },
         );
         m.record(
             SimTime::from_millis(160),
@@ -224,29 +367,39 @@ mod tests {
         assert_eq!(m.redundant(), 1);
         assert!((m.redundancy_factor() - 1.5).abs() < 1e-12);
         assert!((m.tree_fraction() - 0.5).abs() < 1e-12);
-        let cdf = m.delay_cdf();
-        assert_eq!(cdf.len(), 2);
-        assert_eq!(cdf.max(), Duration::from_millis(150));
+        let h = m.delay_histogram();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.max(), Duration::from_millis(150));
     }
 
     #[test]
     fn per_node_average_and_completeness() {
         let mut m = MetricsRecorder::new();
         for seq in 0..2 {
-            m.record(SimTime::ZERO, NodeId::new(0), GoCastEvent::Injected { id: id(seq) });
+            m.record(
+                SimTime::ZERO,
+                NodeId::new(0),
+                GoCastEvent::Injected { id: id(seq) },
+            );
         }
         // Node 1 receives both; node 2 only one.
         for (seq, ms) in [(0, 10u64), (1, 30)] {
             m.record(
                 SimTime::from_millis(ms),
                 NodeId::new(1),
-                GoCastEvent::Delivered { id: id(seq), via: DeliveryPath::Tree },
+                GoCastEvent::Delivered {
+                    id: id(seq),
+                    via: DeliveryPath::Tree,
+                },
             );
         }
         m.record(
             SimTime::from_millis(40),
             NodeId::new(2),
-            GoCastEvent::Delivered { id: id(0), via: DeliveryPath::Tree },
+            GoCastEvent::Delivered {
+                id: id(0),
+                via: DeliveryPath::Tree,
+            },
         );
         let nodes = [NodeId::new(1), NodeId::new(2)];
         let (cdf, incomplete) = m.per_node_average_delays(2, &nodes);
@@ -260,7 +413,7 @@ mod tests {
     #[test]
     fn link_churn_buckets_by_second() {
         let mut m = MetricsRecorder::new();
-        for (t, _) in [(0u64, ()), (300, ()), (1700, ())] {
+        for t in [0u64, 300, 1700] {
             m.record(
                 SimTime::from_millis(t),
                 NodeId::new(0),
@@ -271,6 +424,9 @@ mod tests {
             );
         }
         assert_eq!(m.link_changes_per_sec(), &[2, 1]);
+        assert_eq!(m.link_churn().total(), 3);
+        // Link events don't leak into the delivery tracker.
+        assert_eq!(m.delivery().injected(), 0);
     }
 
     #[test]
@@ -278,6 +434,38 @@ mod tests {
         let m = MetricsRecorder::new();
         assert_eq!(m.redundancy_factor(), 0.0);
         assert_eq!(m.tree_fraction(), 0.0);
-        assert!(m.delay_cdf().is_empty());
+        assert!(m.delay_histogram().is_empty());
+    }
+
+    #[test]
+    fn standalone_tracker_matches_composite() {
+        let mut t = DeliveryTracker::new();
+        let mut m = MetricsRecorder::new();
+        let events = [
+            (0u64, 0u32, GoCastEvent::Injected { id: id(0) }),
+            (
+                25,
+                1,
+                GoCastEvent::Delivered {
+                    id: id(0),
+                    via: DeliveryPath::Tree,
+                },
+            ),
+            (
+                30,
+                2,
+                GoCastEvent::Delivered {
+                    id: id(0),
+                    via: DeliveryPath::Pull,
+                },
+            ),
+        ];
+        for (ms, node, ev) in events {
+            t.record(SimTime::from_millis(ms), NodeId::new(node), ev.clone());
+            m.record(SimTime::from_millis(ms), NodeId::new(node), ev);
+        }
+        assert_eq!(t.delivered(), m.delivered());
+        assert_eq!(t.delay_histogram().mean(), m.delay_histogram().mean());
+        assert_eq!(t.tree_fraction(), m.tree_fraction());
     }
 }

@@ -114,14 +114,7 @@ mod tests {
 
     /// 0-1-2 path plus isolated 3, dead 4 bridging 2-5.
     fn fixture() -> (Vec<Vec<u32>>, Vec<bool>) {
-        let adj = vec![
-            vec![1],
-            vec![0, 2],
-            vec![1, 4],
-            vec![],
-            vec![2, 5],
-            vec![4],
-        ];
+        let adj = vec![vec![1], vec![0, 2], vec![1, 4], vec![], vec![2, 5], vec![4]];
         let alive = vec![true, true, true, true, false, true];
         (adj, alive)
     }
@@ -165,9 +158,7 @@ mod tests {
     #[test]
     fn ring_diameter() {
         let n = 16u32;
-        let adj: Vec<Vec<u32>> = (0..n)
-            .map(|i| vec![(i + 1) % n, (i + n - 1) % n])
-            .collect();
+        let adj: Vec<Vec<u32>> = (0..n).map(|i| vec![(i + 1) % n, (i + n - 1) % n]).collect();
         let alive = vec![true; n as usize];
         assert_eq!(diameter(&adj, &alive), n / 2);
     }

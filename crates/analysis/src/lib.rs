@@ -3,11 +3,17 @@
 //! Turns raw simulation output into the quantities the paper's figures
 //! plot:
 //!
-//! - [`MetricsRecorder`] — a streaming [`gocast_sim::Recorder`] that
-//!   aggregates delivery delays, redundancy, pulls and link churn while
+//! - [`DeliveryTracker`] — a streaming [`gocast_sim::Recorder`] folding
+//!   delivery delays, redundancy and pulls into O(nodes) aggregates while
 //!   the simulation runs (no event buffering at paper scale);
-//! - [`Cdf`] / [`Histogram`] — distribution statistics (delay CDFs of
-//!   Figures 3–4, degree distributions of Figure 5(a));
+//! - [`TimeSeriesRecorder`] — windowed event rates (link churn, traffic)
+//!   in O(sim seconds / window) memory;
+//! - [`MetricsRecorder`] — the composite of the two that every experiment
+//!   runner uses;
+//! - [`Cdf`] / [`DelayHistogram`] / [`Histogram`] — distribution
+//!   statistics (delay CDFs of Figures 3–4, degree distributions of
+//!   Figure 5(a)); `DelayHistogram` is the bounded-memory streaming
+//!   counterpart of `Cdf`;
 //! - graph analysis ([`largest_component_fraction`], [`diameter`],
 //!   [`component_sizes`], [`mean_path_length`]) for the resilience and
 //!   scalability results (Figure 6, §3 summaries);
@@ -21,10 +27,12 @@ mod delivery;
 mod graph;
 mod stats;
 mod table;
+mod timeseries;
 
-pub use delivery::MetricsRecorder;
+pub use delivery::{DeliveryTracker, LinkChurnSelect, MetricsRecorder};
 pub use graph::{
     bfs_distances, component_sizes, diameter, largest_component_fraction, mean_path_length,
 };
-pub use stats::{Cdf, Histogram, Summary};
+pub use stats::{Cdf, DelayHistogram, Histogram, Summary};
 pub use table::{fmt_ms, fmt_secs, Table};
+pub use timeseries::TimeSeriesRecorder;

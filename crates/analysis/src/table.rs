@@ -78,7 +78,11 @@ impl Table {
         writeln!(
             f,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
         for row in &self.rows {
             writeln!(

@@ -1,0 +1,116 @@
+//! Windowed event-rate time series.
+//!
+//! [`TimeSeriesRecorder`] is a streaming [`Recorder`] that counts the
+//! events a predicate selects, bucketed by fixed windows of simulation
+//! time. Memory is O(elapsed sim time / window) — independent of event
+//! volume — which makes it the right tool for link-churn and traffic-rate
+//! plots over long runs (the paper's Figure 5 series).
+
+use std::time::Duration;
+
+use gocast_sim::{NodeId, Recorder, SimTime};
+
+/// Counts selected events per fixed window of simulation time.
+///
+/// ```
+/// use gocast_analysis::TimeSeriesRecorder;
+/// use gocast_sim::{NodeId, Recorder, SimTime};
+/// use std::time::Duration;
+///
+/// // Count odd-valued events in 1-second windows.
+/// let mut ts = TimeSeriesRecorder::new(Duration::from_secs(1), |_, _, v: &u32| v % 2 == 1);
+/// ts.record(SimTime::from_millis(100), NodeId::new(0), 1u32);
+/// ts.record(SimTime::from_millis(200), NodeId::new(0), 2); // filtered out
+/// ts.record(SimTime::from_millis(1500), NodeId::new(1), 3);
+/// assert_eq!(ts.series(), &[1, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeriesRecorder<F> {
+    window_nanos: u64,
+    buckets: Vec<u64>,
+    select: F,
+}
+
+impl<F> TimeSeriesRecorder<F> {
+    /// Creates a recorder counting events selected by `select` in windows
+    /// of length `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Duration, select: F) -> Self {
+        let window_nanos = window.as_nanos().min(u64::MAX as u128) as u64;
+        assert!(window_nanos > 0, "window must be non-zero");
+        TimeSeriesRecorder {
+            window_nanos,
+            buckets: Vec::new(),
+            select,
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> Duration {
+        Duration::from_nanos(self.window_nanos)
+    }
+
+    /// Event counts per window, from sim time zero. Trailing windows with
+    /// no selected events are absent, not zero.
+    pub fn series(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Per-second rates for each window (`count / window_secs`).
+    pub fn rates(&self) -> Vec<f64> {
+        let secs = Duration::from_nanos(self.window_nanos).as_secs_f64();
+        self.buckets.iter().map(|&c| c as f64 / secs).collect()
+    }
+
+    /// Total selected events across all windows.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+impl<E, F: FnMut(SimTime, NodeId, &E) -> bool> Recorder<E> for TimeSeriesRecorder<F> {
+    fn record(&mut self, now: SimTime, node: NodeId, event: E) {
+        if (self.select)(now, node, &event) {
+            let idx = (now.as_nanos() / self.window_nanos) as usize;
+            if self.buckets.len() <= idx {
+                self.buckets.resize(idx + 1, 0);
+            }
+            self.buckets[idx] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_window_and_filters() {
+        let mut ts = TimeSeriesRecorder::new(Duration::from_millis(500), |_, _, v: &u32| *v > 10);
+        ts.record(SimTime::from_millis(0), NodeId::new(0), 99u32);
+        ts.record(SimTime::from_millis(499), NodeId::new(0), 11);
+        ts.record(SimTime::from_millis(499), NodeId::new(0), 5); // filtered
+        ts.record(SimTime::from_millis(1400), NodeId::new(0), 50);
+        assert_eq!(ts.series(), &[2, 0, 1]);
+        assert_eq!(ts.total(), 3);
+        assert_eq!(ts.rates(), vec![4.0, 0.0, 2.0]);
+        assert_eq!(ts.window(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn empty_series_until_first_selected_event() {
+        let mut ts = TimeSeriesRecorder::new(Duration::from_secs(1), |_, _, _: &u8| false);
+        ts.record(SimTime::from_secs(10), NodeId::new(0), 1u8);
+        assert!(ts.series().is_empty());
+        assert_eq!(ts.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_panics() {
+        let _ = TimeSeriesRecorder::new(Duration::ZERO, |_: SimTime, _: NodeId, _: &u8| true);
+    }
+}

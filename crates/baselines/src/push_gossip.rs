@@ -478,10 +478,11 @@ mod tests {
     fn each_id_gossiped_at_most_fanout_times() {
         let n = 64;
         let net = FixedLatency::new(n, Duration::from_millis(10));
-        let mut sim = SimBuilder::new(net).seed(4).build_with(
-            VecRecorder::<GoCastEvent>::new(),
-            |id| PushGossipNode::new(id, PushGossipConfig::default()),
-        );
+        let mut sim = SimBuilder::new(net)
+            .seed(4)
+            .build_with(VecRecorder::<GoCastEvent>::new(), |id| {
+                PushGossipNode::new(id, PushGossipConfig::default())
+            });
         sim.run_until(SimTime::from_secs(1));
         sim.command_now(NodeId::new(0), GoCastCommand::Multicast);
         sim.run_until(SimTime::from_secs(30));

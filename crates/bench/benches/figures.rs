@@ -66,8 +66,7 @@ fn fig5_adaptation(c: &mut Criterion) {
     let opts = bench_opts(64, 13);
     g.bench_function("adapt_and_snapshot_64", |b| {
         b.iter(|| {
-            let res =
-                runners::run_adaptation(&opts, &GoCastConfig::default(), &[0, 5, 15], 15);
+            let res = runners::run_adaptation(&opts, &GoCastConfig::default(), &[0, 5, 15], 15);
             (res.mean_degree, res.latency_series.len())
         })
     });
@@ -135,9 +134,7 @@ fn txt1_redundancy(c: &mut Criterion) {
         b.iter(|| {
             runners::run_delay(
                 &opts,
-                Proto::GoCast(
-                    GoCastConfig::default().with_pull_delay(Duration::from_millis(300)),
-                ),
+                Proto::GoCast(GoCastConfig::default().with_pull_delay(Duration::from_millis(300))),
                 0.0,
             )
             .redundancy
@@ -167,7 +164,9 @@ fn ablations(c: &mut Criterion) {
 // output contains the series themselves, not just timings.
 fn print_scaled_figures(c: &mut Criterion) {
     let opts = bench_opts(96, 19);
-    println!("\n==== scaled figure regeneration (bench-sized; see EXPERIMENTS.md for full scale) ====\n");
+    println!(
+        "\n==== scaled figure regeneration (bench-sized; see EXPERIMENTS.md for full scale) ====\n"
+    );
     figures::fig1(&opts);
     figures::fig3(&opts, 0.0);
     figures::txt2(&opts);

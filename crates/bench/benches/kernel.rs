@@ -1,8 +1,12 @@
 //! Microbenchmarks for the simulation kernel and analysis hot paths.
+//!
+//! Besides printing per-benchmark timings, the custom `main` exports every
+//! measurement to `BENCH_kernel.json` at the repository root — the kernel
+//! events/sec baseline the experiment harness numbers are judged against.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use gocast::{GoCastConfig, GoCastNode};
 use gocast_analysis::{diameter, largest_component_fraction, Cdf};
 use gocast_net::{king_like, synthetic_king, SyntheticKingConfig};
@@ -122,6 +126,42 @@ fn bench_gocast_sim(c: &mut Criterion) {
     g.finish();
 }
 
+/// Kernel event throughput: how many scheduled events the `Sim` loop
+/// retires per wall-clock second in steady state, straight from
+/// [`gocast_sim::KernelStats`]. This is the headline number in
+/// `BENCH_kernel.json`.
+fn bench_kernel_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(10);
+    let mut boot = gocast::bootstrap_random_graph(128, 3, 9);
+    let net = synthetic_king(
+        128,
+        &SyntheticKingConfig {
+            sites: 128,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let mut sim = SimBuilder::new(net).seed(9).build(|id| {
+        let (links, members) = boot(id);
+        GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+    });
+    sim.run_until(SimTime::from_secs(30));
+    // Calibrate the per-iteration workload: events retired in one
+    // steady-state simulated second (stable once the overlay converged).
+    let before = sim.kernel_stats().events_processed;
+    sim.run_for(Duration::from_secs(1));
+    let events_per_sim_sec = sim.kernel_stats().events_processed - before;
+    g.throughput(Throughput::Elements(events_per_sim_sec));
+    g.bench_function("events_per_steady_second_128", |b| {
+        b.iter(|| {
+            sim.run_for(Duration::from_secs(1));
+            sim.kernel_stats().events_processed
+        })
+    });
+    g.finish();
+}
+
 fn bench_analysis(c: &mut Criterion) {
     let mut g = c.benchmark_group("analysis");
     // Degree-6 random graph, 1024 nodes.
@@ -159,6 +199,46 @@ criterion_group! {
     config = Criterion::default()
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
-    targets = bench_event_queue, bench_latency_models, bench_gocast_sim, bench_analysis
+    targets = bench_event_queue, bench_latency_models, bench_gocast_sim,
+        bench_kernel_throughput, bench_analysis
 }
-criterion_main!(benches);
+
+/// JSON string escaping is unnecessary for our ASCII benchmark ids, but
+/// guard against future quotes/backslashes anyway.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"rate_per_sec\": {}}}{}\n",
+            json_escape(&r.id),
+            r.iters,
+            r.mean_ns,
+            r.rate_per_sec()
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    let kernel_rate = results
+        .iter()
+        .find(|r| r.id == "kernel/events_per_steady_second_128")
+        .and_then(|r| r.rate_per_sec());
+    json.push_str(&format!(
+        "  \"kernel_events_per_sec\": {}\n}}\n",
+        kernel_rate
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "null".into()),
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote kernel throughput baseline to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

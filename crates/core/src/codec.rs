@@ -441,7 +441,10 @@ mod tests {
                     (MsgId::new(NodeId::new(1), 2), 10),
                     (MsgId::new(NodeId::new(4), 0), 0),
                 ],
-                members: vec![(NodeId::new(9), coords.clone()), (NodeId::new(2), LandmarkVector::unknown())],
+                members: vec![
+                    (NodeId::new(9), coords.clone()),
+                    (NodeId::new(2), LandmarkVector::unknown()),
+                ],
                 coords: coords.clone(),
                 degrees: deg,
             },
@@ -513,7 +516,11 @@ mod tests {
             let bytes = encode(&msg);
             for cut in 0..bytes.len() {
                 let r = decode(&bytes[..cut]);
-                assert!(r.is_err(), "{msg:?} decoded from {cut}/{} bytes", bytes.len());
+                assert!(
+                    r.is_err(),
+                    "{msg:?} decoded from {cut}/{} bytes",
+                    bytes.len()
+                );
             }
         }
     }

@@ -11,20 +11,26 @@ use serde::{Deserialize, Serialize};
 
 /// Configuration for a GoCast node.
 ///
-/// Build one with [`GoCastConfig::default`] and adjust fields through the
-/// builder-style setters, or use the presets [`GoCastConfig::proximity_overlay`]
-/// and [`GoCastConfig::random_overlay`] that reproduce the paper's
-/// simplified comparison protocols.
+/// Build one with [`GoCastConfig::builder`], which validates the field
+/// combination before handing out a config, or start from
+/// [`GoCastConfig::default`] and adjust fields through the builder-style
+/// setters. The presets [`GoCastConfig::proximity_overlay`] and
+/// [`GoCastConfig::random_overlay`] reproduce the paper's simplified
+/// comparison protocols.
 ///
 /// ```
 /// use gocast::GoCastConfig;
 /// use std::time::Duration;
 ///
-/// let cfg = GoCastConfig::default()
-///     .with_pull_delay(Duration::from_millis(300))
-///     .with_payload_size(512);
-/// cfg.validate().unwrap();
+/// let cfg = GoCastConfig::builder()
+///     .pull_delay(Duration::from_millis(300))
+///     .payload_size(512)
+///     .build()
+///     .unwrap();
 /// assert_eq!(cfg.c_rand + cfg.c_near, 6);
+///
+/// // Invalid combinations are rejected at build time:
+/// assert!(GoCastConfig::builder().degrees(0, 0).build().is_err());
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GoCastConfig {
@@ -128,26 +134,36 @@ impl Default for GoCastConfig {
 }
 
 impl GoCastConfig {
+    /// Starts a validating builder from the paper's defaults.
+    ///
+    /// Unlike mutating fields directly, [`GoCastConfigBuilder::build`]
+    /// refuses combinations the protocol cannot run with (zero degree,
+    /// zero periods, empty membership view).
+    pub fn builder() -> GoCastConfigBuilder {
+        GoCastConfigBuilder {
+            cfg: GoCastConfig::default(),
+        }
+    }
+
     /// The paper's "proximity overlay" comparison protocol: the GoCast
     /// overlay (1 random + 5 nearby) but dissemination through gossip only,
     /// no tree.
     pub fn proximity_overlay() -> Self {
-        GoCastConfig {
-            tree_enabled: false,
-            ..Default::default()
-        }
+        GoCastConfig::builder()
+            .tree_enabled(false)
+            .build()
+            .expect("preset is valid")
     }
 
     /// The paper's "random overlay" comparison protocol: 6 random
     /// neighbors, gossip-only dissemination, no proximity adaptation,
     /// no tree.
     pub fn random_overlay() -> Self {
-        GoCastConfig {
-            c_rand: 6,
-            c_near: 0,
-            tree_enabled: false,
-            ..Default::default()
-        }
+        GoCastConfig::builder()
+            .degrees(6, 0)
+            .tree_enabled(false)
+            .build()
+            .expect("preset is valid")
     }
 
     /// Target total node degree (`C_degree = C_rand + C_near`).
@@ -200,6 +216,119 @@ impl GoCastConfig {
             return Err(ConfigError::ZeroHeartbeatFactor);
         }
         Ok(())
+    }
+}
+
+/// Validating builder for [`GoCastConfig`], started with
+/// [`GoCastConfig::builder`].
+///
+/// Every setter takes and returns the builder by value so calls chain;
+/// [`GoCastConfigBuilder::build`] runs [`GoCastConfig::validate`] and
+/// only hands out configs the protocol can actually run with.
+///
+/// ```
+/// use gocast::{ConfigError, GoCastConfig};
+/// use std::time::Duration;
+///
+/// let cfg = GoCastConfig::builder()
+///     .gossip_period(Duration::from_millis(50))
+///     .c_rand(2)
+///     .c_near(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.c_degree(), 6);
+///
+/// let err = GoCastConfig::builder()
+///     .gossip_period(Duration::ZERO)
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err, ConfigError::ZeroPeriod);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoCastConfigBuilder {
+    cfg: GoCastConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.cfg.$name = value;
+                self
+            }
+        )+
+    };
+}
+
+impl GoCastConfigBuilder {
+    builder_setters! {
+        /// Target number of random neighbors (`C_rand`).
+        c_rand: usize,
+        /// Target number of nearby neighbors (`C_near`).
+        c_near: usize,
+        /// Acceptance slack above the target degree.
+        degree_slack: usize,
+        /// Gossip period `t`.
+        gossip_period: Duration,
+        /// Overlay maintenance period `r`.
+        maintenance_period: Duration,
+        /// Message retention after the last gossip mentioning it (`b`).
+        gc_wait: Duration,
+        /// Delay before pulling a message first heard via gossip (`f`).
+        pull_delay: Duration,
+        /// Retry interval for unanswered pulls.
+        pull_timeout: Duration,
+        /// Root heartbeat / tree refresh period.
+        heartbeat_period: Duration,
+        /// Heartbeats missed before suspecting the root.
+        heartbeat_timeout_factor: u32,
+        /// Whether to build and use the embedded tree.
+        tree_enabled: bool,
+        /// Idle neighbor timeout.
+        neighbor_timeout: Duration,
+        /// Capacity of the partial membership view.
+        member_view_capacity: usize,
+        /// Random member addresses piggybacked per gossip.
+        members_per_gossip: usize,
+        /// Maximum interval between gossips to an idle neighbor.
+        idle_gossip_interval: Duration,
+        /// Number of landmark nodes for latency estimation.
+        landmark_count: usize,
+        /// Wire size of a multicast payload in bytes.
+        payload_size: u32,
+        /// The initial tree root.
+        root: NodeId,
+        /// Ablation: enforce condition C4 on nearby replacements.
+        c4_enabled: bool,
+        /// Ablation: C1 lower bound offset.
+        c1_offset: usize,
+        /// Ablation: drop surplus nearby links at `C_near + 1`.
+        aggressive_drop: bool,
+        /// Future work: adapt the gossip period to the message rate.
+        adaptive_gossip: bool,
+        /// Future work: adapt the maintenance period to overlay stability.
+        adaptive_maintenance: bool,
+        /// Upper bound for the adaptive maintenance period.
+        max_maintenance_period: Duration,
+    }
+
+    /// Sets both target degrees at once (`C_rand`, `C_near`).
+    pub fn degrees(mut self, c_rand: usize, c_near: usize) -> Self {
+        self.cfg.c_rand = c_rand;
+        self.cfg.c_near = c_near;
+        self
+    }
+
+    /// Validates the accumulated configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] [`GoCastConfig::validate`]
+    /// reports.
+    pub fn build(self) -> Result<GoCastConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -291,7 +420,54 @@ mod tests {
 
     #[test]
     fn error_messages_are_lowercase_prose() {
-        assert_eq!(ConfigError::ZeroDegree.to_string(), "target node degree is zero");
+        assert_eq!(
+            ConfigError::ZeroDegree.to_string(),
+            "target node degree is zero"
+        );
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let cfg = GoCastConfig::builder()
+            .gossip_period(Duration::from_millis(50))
+            .maintenance_period(Duration::from_millis(200))
+            .degrees(2, 4)
+            .payload_size(64)
+            .root(NodeId::new(3))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.gossip_period, Duration::from_millis(50));
+        assert_eq!(cfg.maintenance_period, Duration::from_millis(200));
+        assert_eq!((cfg.c_rand, cfg.c_near), (2, 4));
+        assert_eq!(cfg.payload_size, 64);
+        assert_eq!(cfg.root, NodeId::new(3));
+
+        assert_eq!(
+            GoCastConfig::builder().degrees(0, 0).build(),
+            Err(ConfigError::ZeroDegree)
+        );
+        assert_eq!(
+            GoCastConfig::builder()
+                .maintenance_period(Duration::ZERO)
+                .build(),
+            Err(ConfigError::ZeroPeriod)
+        );
+        assert_eq!(
+            GoCastConfig::builder().member_view_capacity(0).build(),
+            Err(ConfigError::ZeroViewCapacity)
+        );
+        assert_eq!(
+            GoCastConfig::builder().heartbeat_timeout_factor(0).build(),
+            Err(ConfigError::ZeroHeartbeatFactor)
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        assert_eq!(
+            GoCastConfig::builder().build().unwrap(),
+            GoCastConfig::default()
+        );
     }
 
     #[test]

@@ -69,7 +69,7 @@ mod types;
 mod wire;
 
 pub use codec::{decode, encode, DecodeError};
-pub use config::{ConfigError, GoCastConfig};
+pub use config::{ConfigError, GoCastConfig, GoCastConfigBuilder};
 pub use node::{GoCastCommand, GoCastNode};
 pub use snapshot::{snapshot, Snapshot};
 pub use types::{
@@ -144,12 +144,13 @@ mod tests {
     fn bootstrap_graph_is_symmetric_with_expected_degree() {
         let n = 64;
         let mut boot = bootstrap_random_graph(n, 3, 1);
-        let links: Vec<Vec<NodeId>> = (0..n)
-            .map(|i| boot(NodeId::new(i as u32)).0)
-            .collect();
+        let links: Vec<Vec<NodeId>> = (0..n).map(|i| boot(NodeId::new(i as u32)).0).collect();
         let total: usize = links.iter().map(Vec::len).sum();
         // Each initiated link appears at both endpoints.
-        assert!(total >= 2 * 3 * n - 2 * n, "roughly 6 per node, got {total}");
+        assert!(
+            total >= 2 * 3 * n - 2 * n,
+            "roughly 6 per node, got {total}"
+        );
         for (i, l) in links.iter().enumerate() {
             for p in l {
                 assert!(

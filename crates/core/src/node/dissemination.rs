@@ -97,8 +97,8 @@ impl GoCastNode {
         self.delivered += 1;
         self.wake_gossip(ctx);
 
-        let from_tree_link = self.tree.parent == Some(from)
-            || self.neighbors.get(&from).is_some_and(|n| n.is_child);
+        let from_tree_link =
+            self.tree.parent == Some(from) || self.neighbors.get(&from).is_some_and(|n| n.is_child);
         let via = if from_tree_link {
             DeliveryPath::Tree
         } else {
@@ -296,9 +296,8 @@ impl GoCastNode {
                 .neighbors
                 .get(&from)
                 .and_then(|n| n.rtt_us.map(std::time::Duration::from_micros));
-            let age =
-                age_on_arrival(std::time::Duration::from_micros(age_us), link_rtt).as_micros()
-                    as u64;
+            let age = age_on_arrival(std::time::Duration::from_micros(age_us), link_rtt).as_micros()
+                as u64;
             if let Some(p) = self.pending_pulls.get_mut(&id) {
                 if !p.candidates.contains(&from) {
                     p.candidates.push(from);

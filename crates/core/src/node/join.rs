@@ -26,7 +26,7 @@ impl GoCastNode {
                 self.coords.set(i, std::time::Duration::ZERO);
                 continue;
             }
-            let delay_ms = 20 * i as u64 + ctx.rng().gen_range(0..20);
+            let delay_ms = 20 * i as u64 + ctx.rng().gen_range(0..20u64);
             ctx.set_timer(
                 std::time::Duration::from_millis(delay_ms),
                 Timer::with_payload(timers::LANDMARK, i as u32, 0),

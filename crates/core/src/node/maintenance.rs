@@ -35,8 +35,7 @@ impl GoCastNode {
         // opportunity for improvement diminishes. The maintenance cycle r
         // can be increased accordingly to reduce maintenance overheads."
         let period = if self.cfg.adaptive_maintenance {
-            let deficient =
-                self.d_rand() < self.c_rand || self.d_near() < self.c_near;
+            let deficient = self.d_rand() < self.c_rand || self.d_near() < self.c_near;
             if self.link_changes != changes_before || deficient {
                 self.maint_backoff = 0;
             } else {
@@ -100,9 +99,7 @@ impl GoCastNode {
             let victim = self
                 .neighbors
                 .iter()
-                .filter(|(_, n)| {
-                    n.kind == LinkKind::Random && n.degrees.d_rand > n.degrees.t_rand
-                })
+                .filter(|(_, n)| n.kind == LinkKind::Random && n.degrees.d_rand > n.degrees.t_rand)
                 .map(|(&p, _)| p)
                 .next();
             if let Some(w) = victim {
@@ -165,8 +162,7 @@ impl GoCastNode {
         while self.probe_cursor < self.probe_queue.len() {
             let cand = self.probe_queue[self.probe_cursor];
             self.probe_cursor += 1;
-            if cand != self.id && !self.neighbors.contains_key(&cand) && self.view.contains(cand)
-            {
+            if cand != self.id && !self.neighbors.contains_key(&cand) && self.view.contains(cand) {
                 return Some(cand);
             }
         }
@@ -233,7 +229,8 @@ impl GoCastNode {
         }
         match kind {
             ProbeKind::Landmark(i) => {
-                self.coords.set(i as usize, std::time::Duration::from_micros(rtt_us));
+                self.coords
+                    .set(i as usize, std::time::Duration::from_micros(rtt_us));
             }
             ProbeKind::LinkMeasure => {
                 if let Some(n) = self.neighbors.get_mut(&from) {

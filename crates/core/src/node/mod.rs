@@ -265,9 +265,7 @@ impl GoCastNode {
     }
 
     /// Iterates over `(peer, kind, measured RTT)` for every overlay link.
-    pub fn overlay_links(
-        &self,
-    ) -> impl Iterator<Item = (NodeId, LinkKind, Option<Duration>)> + '_ {
+    pub fn overlay_links(&self) -> impl Iterator<Item = (NodeId, LinkKind, Option<Duration>)> + '_ {
         self.neighbors
             .iter()
             .map(|(&p, n)| (p, n.kind, n.rtt_us.map(Duration::from_micros)))
@@ -430,7 +428,15 @@ impl Protocol for GoCastNode {
                 degrees,
                 max_nearby_rtt_us,
                 coords,
-            } => self.on_pong(ctx, from, kind, sent_at_us, degrees, max_nearby_rtt_us, coords),
+            } => self.on_pong(
+                ctx,
+                from,
+                kind,
+                sent_at_us,
+                degrees,
+                max_nearby_rtt_us,
+                coords,
+            ),
             GoCastMsg::LinkRequest {
                 kind,
                 rtt_us,

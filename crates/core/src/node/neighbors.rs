@@ -89,8 +89,10 @@ impl GoCastNode {
             t_near: self.c_near as u16,
             ..DegreeInfo::default()
         };
-        self.neighbors
-            .insert(peer, Neighbor::new(LinkKind::Nearby, None, ctx.now(), assumed));
+        self.neighbors.insert(
+            peer,
+            Neighbor::new(LinkKind::Nearby, None, ctx.now(), assumed),
+        );
         self.link_changes += 1;
         ctx.emit(GoCastEvent::LinkAdded {
             peer,

@@ -176,9 +176,7 @@ impl GoCastNode {
             self.tree.dist_us = cand;
             self.set_parent(ctx, Some(from));
             self.flood_tree_ad(ctx, None);
-        } else if seq == self.tree.seq
-            && Some(from) == self.tree.parent
-            && cand > self.tree.dist_us
+        } else if seq == self.tree.seq && Some(from) == self.tree.parent && cand > self.tree.dist_us
         {
             // Our parent's path is worse than the best we know: re-pick
             // the parent from the route cache. This keeps the invariant

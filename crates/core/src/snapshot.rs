@@ -30,7 +30,9 @@ pub struct Snapshot {
 /// Captures a [`Snapshot`] from a simulation of GoCast nodes.
 pub fn snapshot<R: Recorder<GoCastEvent>>(sim: &Sim<GoCastNode, R>) -> Snapshot {
     let n = sim.len();
-    let alive: Vec<bool> = (0..n).map(|i| sim.is_alive(NodeId::new(i as u32))).collect();
+    let alive: Vec<bool> = (0..n)
+        .map(|i| sim.is_alive(NodeId::new(i as u32)))
+        .collect();
 
     let mut overlay = std::collections::BTreeMap::new();
     let mut tree_edges = Vec::new();

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 /// The paper concatenates the origin's IP address with a locally assigned,
 /// monotonically increasing sequence number; this is the same thing with a
 /// [`NodeId`] in place of the address.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MsgId {
     /// The node that injected the message.
     pub origin: NodeId,
@@ -208,11 +206,22 @@ mod tests {
 
     #[test]
     fn degree_info_totals() {
-        let d = DegreeInfo { d_rand: 1, d_near: 5, t_rand: 1, t_near: 5 };
+        let d = DegreeInfo {
+            d_rand: 1,
+            d_near: 5,
+            t_rand: 1,
+            t_near: 5,
+        };
         assert_eq!(d.total(), 6);
         assert!(d.rand_saturated());
         assert!(d.near_saturated());
-        assert!(!DegreeInfo { d_rand: 0, d_near: 4, t_rand: 1, t_near: 5 }.near_saturated());
+        assert!(!DegreeInfo {
+            d_rand: 0,
+            d_near: 4,
+            t_rand: 1,
+            t_near: 5
+        }
+        .near_saturated());
         assert_eq!(DegreeInfo::default().total(), 0);
     }
 

@@ -18,12 +18,13 @@ fn dump_tree_state() {
         },
     );
     let mut boot = gocast::bootstrap_random_graph(n, 3, seed);
-    let mut sim = SimBuilder::new(net)
-        .seed(seed)
-        .build_with(VecRecorder::<GoCastEvent>::new(), |id| {
-            let (links, members) = boot(id);
-            GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
-        });
+    let mut sim =
+        SimBuilder::new(net)
+            .seed(seed)
+            .build_with(VecRecorder::<GoCastEvent>::new(), |id| {
+                let (links, members) = boot(id);
+                GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+            });
     sim.run_until(SimTime::from_secs(60));
     for i in 0..n as u32 {
         let node = sim.node(NodeId::new(i));

@@ -5,24 +5,27 @@ use std::time::Duration;
 
 use gocast::{GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode, MsgId};
 use gocast_sim::{
-    FixedLatency, LatencyModel, NodeId, Sim, SimBuilder, SimTime, TrafficClass, VecRecorder,
+    FixedLatency, NodeId, Recorder, Sim, SimBuilder, SimTime, TrafficClass, VecRecorder,
 };
 
 type Rec = VecRecorder<GoCastEvent>;
 
-fn controlled(
+/// Builds the controlled topology with any recorder — tests pick a
+/// streaming combinator or a plain buffer as fits their assertion.
+fn controlled_with<R: Recorder<GoCastEvent>>(
     n: usize,
     links: &[(u32, u32)],
     cfg: GoCastConfig,
     seed: u64,
-) -> Sim<GoCastNode, Rec> {
+    rec: R,
+) -> Sim<GoCastNode, R> {
     let net = FixedLatency::new(n, Duration::from_millis(20));
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for &(a, b) in links {
         adj[a as usize].push(NodeId::new(b));
         adj[b as usize].push(NodeId::new(a));
     }
-    SimBuilder::new(net).seed(seed).build_with(Rec::new(), |id| {
+    SimBuilder::new(net).seed(seed).build_with(rec, |id| {
         let members: Vec<NodeId> = (0..n as u32)
             .filter(|&i| i != id.as_u32())
             .map(NodeId::new)
@@ -36,38 +39,40 @@ fn controlled(
     })
 }
 
+fn controlled(
+    n: usize,
+    links: &[(u32, u32)],
+    cfg: GoCastConfig,
+    seed: u64,
+) -> Sim<GoCastNode, Rec> {
+    controlled_with(n, links, cfg, seed, Rec::new())
+}
+
 #[test]
 fn frozen_node_ignores_incoming_link_churn_but_keeps_serving() {
     // Freeze node 0, then let the others keep adapting; node 0's links may
     // shrink (peers drop) but node 0 itself must not initiate changes, and
     // it must still forward data.
+    // Stream only node 0's LinkAdded events instead of buffering the full
+    // trace and re-scanning it.
+    let rec = Rec::new().filter(|_, node: NodeId, e: &GoCastEvent| {
+        node.index() == 0 && matches!(e, GoCastEvent::LinkAdded { .. })
+    });
     let links = [(0u32, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)];
-    let mut sim = controlled(4, &links, GoCastConfig::default(), 1);
+    let mut sim = controlled_with(4, &links, GoCastConfig::default(), 1, rec);
     sim.run_until(SimTime::from_secs(10));
     sim.command_now(NodeId::new(0), GoCastCommand::FreezeMaintenance);
     sim.run_for(Duration::from_secs(5));
-    let before = sim
-        .recorder()
-        .events
-        .iter()
-        .filter(|(_, node, e)| {
-            node.index() == 0 && matches!(e, GoCastEvent::LinkAdded { .. })
-        })
-        .count();
+    let before = sim.recorder().inner.events.len();
     sim.run_for(Duration::from_secs(20));
-    let after = sim
-        .recorder()
-        .events
-        .iter()
-        .filter(|(_, node, e)| {
-            node.index() == 0 && matches!(e, GoCastEvent::LinkAdded { .. })
-        })
-        .count();
+    let after = sim.recorder().inner.events.len();
     assert_eq!(before, after, "frozen node added links");
     // Still forwards: a multicast from node 2 reaches node 0 and beyond.
     sim.command_now(NodeId::new(2), GoCastCommand::Multicast);
     sim.run_for(Duration::from_secs(5));
-    assert!(sim.node(NodeId::new(0)).has_message(MsgId::new(NodeId::new(2), 0)));
+    assert!(sim
+        .node(NodeId::new(0))
+        .has_message(MsgId::new(NodeId::new(2), 0)));
 }
 
 #[test]
@@ -114,7 +119,9 @@ fn adaptive_gossip_snaps_back_on_traffic() {
     assert!(gossips >= 5, "gossip clock failed to wake: {gossips}");
     for i in [1u32, 2] {
         for seq in 0..5 {
-            assert!(sim.node(NodeId::new(i)).has_message(MsgId::new(NodeId::new(0), seq)));
+            assert!(sim
+                .node(NodeId::new(i))
+                .has_message(MsgId::new(NodeId::new(0), seq)));
         }
     }
 }
@@ -132,11 +139,14 @@ fn leave_then_messages_do_not_resurrect_links() {
     sim.run_for(Duration::from_secs(10));
     assert_eq!(sim.node(NodeId::new(3)).degrees().total(), 0);
     assert!(
-        !sim.node(NodeId::new(3)).has_message(MsgId::new(NodeId::new(0), 0)),
+        !sim.node(NodeId::new(3))
+            .has_message(MsgId::new(NodeId::new(0), 0)),
         "left node must not receive multicast traffic"
     );
     for i in [1u32, 2] {
-        assert!(sim.node(NodeId::new(i)).has_message(MsgId::new(NodeId::new(0), 0)));
+        assert!(sim
+            .node(NodeId::new(i))
+            .has_message(MsgId::new(NodeId::new(0), 0)));
     }
 }
 
@@ -149,7 +159,9 @@ fn two_node_system_works_end_to_end() {
     sim.run_until(SimTime::from_secs(5));
     sim.command_now(NodeId::new(1), GoCastCommand::Multicast);
     sim.run_for(Duration::from_secs(2));
-    assert!(sim.node(NodeId::new(0)).has_message(MsgId::new(NodeId::new(1), 0)));
+    assert!(sim
+        .node(NodeId::new(0))
+        .has_message(MsgId::new(NodeId::new(1), 0)));
     // Tree: node 1 is child of root 0 (or vice versa).
     let parents = [
         sim.node(NodeId::new(0)).tree_parent(),
@@ -179,24 +191,28 @@ fn store_sizes_track_payload_configuration() {
 #[test]
 fn redundant_data_does_not_refire_delivery() {
     // When a payload arrives twice the Delivered event fires exactly once
-    // and the duplicate is counted as redundant.
+    // and the duplicate is counted as redundant. The recorder tees the
+    // full trace into a second, Delivered-only stream.
+    let rec = Rec::new()
+        .tee(Rec::new().filter(|_, _, e: &GoCastEvent| matches!(e, GoCastEvent::Delivered { .. })));
     let links = [(0u32, 1), (1, 2), (0, 2)];
-    let mut sim = controlled(3, &links, GoCastConfig::default(), 7);
+    let mut sim = controlled_with(3, &links, GoCastConfig::default(), 7, rec);
     sim.run_until(SimTime::from_secs(10));
     for _ in 0..10 {
         sim.command_now(NodeId::new(0), GoCastCommand::Multicast);
         sim.run_for(Duration::from_millis(300));
     }
     sim.run_for(Duration::from_secs(3));
-    let delivered = sim
-        .recorder()
-        .events
-        .iter()
-        .filter(|(_, _, e)| matches!(e, GoCastEvent::Delivered { .. }))
-        .count();
+    let delivered = sim.recorder().second.inner.events.len();
+    assert!(
+        sim.recorder().first.events.len() > delivered,
+        "tee'd full trace must contain more than the Delivered stream"
+    );
     assert_eq!(delivered, 20, "exactly one Delivered per (node, message)");
     let per_node: Vec<u64> = (0..3)
-        .map(|i| sim.node(NodeId::new(i)).delivered_count() + sim.node(NodeId::new(i)).redundant_count())
+        .map(|i| {
+            sim.node(NodeId::new(i)).delivered_count() + sim.node(NodeId::new(i)).redundant_count()
+        })
         .collect();
     assert!(per_node.iter().sum::<u64>() >= 20);
 }

@@ -3,9 +3,7 @@
 
 use std::time::Duration;
 
-use gocast::{
-    snapshot, DeliveryPath, GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode,
-};
+use gocast::{snapshot, DeliveryPath, GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode};
 use gocast_net::{synthetic_king, SyntheticKingConfig};
 use gocast_sim::{NodeId, Sim, SimBuilder, SimTime, VecRecorder};
 
@@ -21,14 +19,20 @@ fn build(n: usize, seed: u64, cfg: GoCastConfig) -> Sim<GoCastNode, Rec> {
         },
     );
     let mut boot = gocast::bootstrap_random_graph(n, cfg.c_degree() / 2, seed);
-    SimBuilder::new(net).seed(seed).build_with(Rec::new(), |id| {
-        let (links, members) = boot(id);
-        GoCastNode::with_initial_links(id, cfg.clone(), links, members)
-    })
+    SimBuilder::new(net)
+        .seed(seed)
+        .build_with(Rec::new(), |id| {
+            let (links, members) = boot(id);
+            GoCastNode::with_initial_links(id, cfg.clone(), links, members)
+        })
 }
 
 fn count_events<F: Fn(&GoCastEvent) -> bool>(sim: &Sim<GoCastNode, Rec>, f: F) -> usize {
-    sim.recorder().events.iter().filter(|(_, _, e)| f(e)).count()
+    sim.recorder()
+        .events
+        .iter()
+        .filter(|(_, _, e)| f(e))
+        .count()
 }
 
 #[test]
@@ -107,10 +111,15 @@ fn multicast_reaches_everyone_mostly_via_tree() {
     sim.run_for(Duration::from_secs(10));
     let delivered = count_events(&sim, |e| matches!(e, GoCastEvent::Delivered { .. }));
     assert_eq!(delivered, 5 * 63, "every node gets every message once");
-    let via_tree = count_events(
-        &sim,
-        |e| matches!(e, GoCastEvent::Delivered { via: DeliveryPath::Tree, .. }),
-    );
+    let via_tree = count_events(&sim, |e| {
+        matches!(
+            e,
+            GoCastEvent::Delivered {
+                via: DeliveryPath::Tree,
+                ..
+            }
+        )
+    });
     assert!(
         via_tree as f64 >= 0.95 * delivered as f64,
         "tree should carry almost everything: {via_tree}/{delivered}"
@@ -179,10 +188,15 @@ fn proximity_and_random_overlay_presets_deliver_without_tree() {
         let delivered = count_events(&sim, |e| matches!(e, GoCastEvent::Delivered { .. }));
         assert_eq!(delivered, 47, "{name}: overlay gossip must reach everyone");
         // No tree means nothing is delivered via a tree link.
-        let via_tree = count_events(
-            &sim,
-            |e| matches!(e, GoCastEvent::Delivered { via: DeliveryPath::Tree, .. }),
-        );
+        let via_tree = count_events(&sim, |e| {
+            matches!(
+                e,
+                GoCastEvent::Delivered {
+                    via: DeliveryPath::Tree,
+                    ..
+                }
+            )
+        });
         assert_eq!(via_tree, 0, "{name}: tree is disabled");
     }
 }
@@ -204,13 +218,20 @@ fn root_failover_elects_new_root_and_tree_recovers() {
     assert_eq!(roots.len(), 1, "exactly one live root, got {roots:?}");
     // Everyone alive follows the new root and a multicast still works.
     for id in sim.alive_nodes() {
-        assert_eq!(sim.node(id).current_root(), roots[0], "{id} follows old root");
+        assert_eq!(
+            sim.node(id).current_root(),
+            roots[0],
+            "{id} follows old root"
+        );
     }
     let before = count_events(&sim, |e| matches!(e, GoCastEvent::Delivered { .. }));
     sim.command_now(NodeId::new(5), GoCastCommand::Multicast);
     sim.run_for(Duration::from_secs(10));
     let delivered = count_events(&sim, |e| matches!(e, GoCastEvent::Delivered { .. })) - before;
-    assert_eq!(delivered, 46, "multicast after failover reaches all live nodes");
+    assert_eq!(
+        delivered, 46,
+        "multicast after failover reaches all live nodes"
+    );
 }
 
 #[test]
@@ -322,7 +343,11 @@ fn adaptive_periods_cut_idle_overhead_without_losing_messages() {
     let (fixed_quiet, fixed_delivered) = run(false);
     let (adaptive_quiet, adaptive_delivered) = run(true);
     assert_eq!(fixed_delivered, 10 * 63);
-    assert_eq!(adaptive_delivered, 10 * 63, "adaptivity must not lose messages");
+    assert_eq!(
+        adaptive_delivered,
+        10 * 63,
+        "adaptivity must not lose messages"
+    );
     assert!(
         (adaptive_quiet as f64) < 0.7 * fixed_quiet as f64,
         "adaptive idle traffic {adaptive_quiet} should be well below fixed {fixed_quiet}"
@@ -348,13 +373,18 @@ fn delivery_survives_link_failures_and_repairs() {
     sim.run_for(Duration::from_secs(10));
     let delivered = count_events(&sim, |e| matches!(e, GoCastEvent::Delivered { .. })) - before;
     assert_eq!(delivered, 63, "link cuts must not lose messages");
-    assert!(sim.node(victim).has_message(gocast::MsgId::new(NodeId::new(1), 0)));
+    assert!(sim
+        .node(victim)
+        .has_message(gocast::MsgId::new(NodeId::new(1), 0)));
 
     // Maintenance then notices the dead links (neighbor timeout) and
     // repairs: the victim reconnects and rejoins the tree.
     sim.run_for(Duration::from_secs(60));
     let d = sim.node(victim).degrees();
-    assert!(d.total() >= 4, "victim should re-grow its degree, got {d:?}");
+    assert!(
+        d.total() >= 4,
+        "victim should re-grow its degree, got {d:?}"
+    );
     let parent = sim.node(victim).tree_parent();
     if let Some(p) = parent {
         assert!(

@@ -5,12 +5,8 @@
 
 use std::time::Duration;
 
-use gocast::{
-    DropReason, GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode, MsgId,
-};
-use gocast_sim::{
-    FixedLatency, LatencyModel, NodeId, Sim, SimBuilder, SimTime, VecRecorder,
-};
+use gocast::{DropReason, GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode, MsgId};
+use gocast_sim::{FixedLatency, LatencyModel, NodeId, Sim, SimBuilder, SimTime, VecRecorder};
 
 type Rec = VecRecorder<GoCastEvent>;
 
@@ -38,18 +34,20 @@ fn build_on<L: LatencyModel + 'static>(
         adj[a as usize].push(NodeId::new(b));
         adj[b as usize].push(NodeId::new(a));
     }
-    SimBuilder::new(net).seed(seed).build_with(Rec::new(), |id| {
-        let members: Vec<NodeId> = (0..n as u32)
-            .filter(|&i| i != id.as_u32())
-            .map(NodeId::new)
-            .collect();
-        GoCastNode::with_initial_links(
-            id,
-            cfg.clone(),
-            std::mem::take(&mut adj[id.index()]),
-            members,
-        )
-    })
+    SimBuilder::new(net)
+        .seed(seed)
+        .build_with(Rec::new(), |id| {
+            let members: Vec<NodeId> = (0..n as u32)
+                .filter(|&i| i != id.as_u32())
+                .map(NodeId::new)
+                .collect();
+            GoCastNode::with_initial_links(
+                id,
+                cfg.clone(),
+                std::mem::take(&mut adj[id.index()]),
+                members,
+            )
+        })
 }
 
 /// A two-tier latency model: nodes 0..k are mutually close (5 ms), all
@@ -240,7 +238,9 @@ fn gossip_exclusion_no_id_echoed_back() {
         .filter(|(_, _, e)| matches!(e, GoCastEvent::PullRequested { .. }))
         .count();
     assert_eq!(pulls, 0, "gossip exclusion rule violated");
-    assert!(sim.node(NodeId::new(1)).has_message(MsgId::new(NodeId::new(0), 0)));
+    assert!(sim
+        .node(NodeId::new(1))
+        .has_message(MsgId::new(NodeId::new(0), 0)));
 }
 
 #[test]
@@ -265,7 +265,8 @@ fn pull_retries_move_to_another_candidate() {
     sim.run_for(Duration::from_secs(20));
     for i in [2u32, 3] {
         assert!(
-            sim.node(NodeId::new(i)).has_message(MsgId::new(NodeId::new(0), 0)),
+            sim.node(NodeId::new(i))
+                .has_message(MsgId::new(NodeId::new(0), 0)),
             "n{i} never recovered the message"
         );
     }
@@ -303,7 +304,9 @@ fn source_can_multicast_without_being_root() {
     sim.command_now(NodeId::new(4), GoCastCommand::Multicast);
     sim.run_for(Duration::from_secs(5));
     for i in 0..4u32 {
-        assert!(sim.node(NodeId::new(i)).has_message(MsgId::new(NodeId::new(4), 0)));
+        assert!(sim
+            .node(NodeId::new(i))
+            .has_message(MsgId::new(NodeId::new(4), 0)));
     }
 }
 
@@ -377,7 +380,9 @@ fn heartbeats_keep_flowing_and_seq_advances() {
 #[test]
 fn frozen_tree_does_not_heal_after_root_death() {
     let cfg = GoCastConfig::default();
-    let links: Vec<(u32, u32)> = (0..12u32).flat_map(|i| [(i, (i + 1) % 12), (i, (i + 5) % 12)]).collect();
+    let links: Vec<(u32, u32)> = (0..12u32)
+        .flat_map(|i| [(i, (i + 1) % 12), (i, (i + 5) % 12)])
+        .collect();
     let mut sim = controlled(12, &links, cfg, 13);
     sim.run_until(SimTime::from_secs(30));
     for i in 0..12u32 {

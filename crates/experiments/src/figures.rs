@@ -10,7 +10,7 @@ use gocast_baselines::{
     prob_all_nodes_hear, prob_all_nodes_hear_all, PushGossipConfig, PushGossipNode,
 };
 use gocast_net::{AsTopology, LinkStress};
-use gocast_sim::{NodeId, SimBuilder, SimTime};
+use gocast_sim::{KernelStats, NodeId, SimBuilder, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,6 +29,12 @@ const DELAY_PCTS: [(f64, &str); 6] = [
     (1.00, "max"),
     (-1.0, "mean"),
 ];
+
+/// Reports the kernel counters of a finished run on stderr, next to the
+/// progress lines — every experiment prints its event throughput.
+fn log_kernel(kernel: &KernelStats) {
+    eprintln!("    kernel: {kernel}");
+}
 
 fn delay_row(stats: &DelayStats) -> Vec<String> {
     let mut row = vec![stats.protocol.clone()];
@@ -94,6 +100,7 @@ pub fn fig1(opts: &ExpOptions) -> Vec<Table> {
         );
     }
     sim.run_until(SimTime::from_secs(1) + opts.inject_duration() + opts.drain);
+    log_kernel(&sim.kernel_stats());
 
     // Misses: every injected message should reach the other n-1 nodes.
     let delivered = sim.recorder().delivered();
@@ -138,6 +145,7 @@ pub fn fig3(opts: &ExpOptions, fail_frac: f64) -> Vec<Table> {
         let label = proto.label();
         eprintln!("  running {label} (fail = {fail_frac}) ...");
         let stats = run_delay(opts, proto, fail_frac);
+        log_kernel(&stats.kernel);
         if !stats.per_node_avg.is_empty() {
             if label == "GoCast" {
                 gocast_mean = Some(stats.per_node_avg.mean());
@@ -176,6 +184,7 @@ pub fn fig4(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
             let o = opts.clone().with_nodes(n);
             eprintln!("  running GoCast n = {n}, fail = {fail} ...");
             let mut stats = run_delay(&o, Proto::GoCast(GoCastConfig::default()), fail);
+            log_kernel(&stats.kernel);
             stats.protocol = format!("GoCast n={n}");
             t.row(delay_row(&stats));
         }
@@ -194,6 +203,7 @@ pub fn fig4(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
 pub fn fig5a(opts: &ExpOptions) -> Vec<Table> {
     let snap_times = [0, 5, opts.warmup.as_secs()];
     let res = run_adaptation(opts, &GoCastConfig::default(), &snap_times, 0);
+    log_kernel(&res.kernel);
     let max_deg = res
         .degree_hists
         .iter()
@@ -230,7 +240,12 @@ pub fn fig5a(opts: &ExpOptions) -> Vec<Table> {
 /// `latency_secs` seconds.
 pub fn fig5b(opts: &ExpOptions, latency_secs: u64) -> Vec<Table> {
     let res = run_adaptation(opts, &GoCastConfig::default(), &[], latency_secs);
-    let mut t = Table::new(["t(s)", "overlay link latency (ms)", "tree link latency (ms)"]);
+    log_kernel(&res.kernel);
+    let mut t = Table::new([
+        "t(s)",
+        "overlay link latency (ms)",
+        "tree link latency (ms)",
+    ]);
     for (s, overlay, tree) in &res.latency_series {
         t.row([s.to_string(), fmt_ms(*overlay), fmt_ms(*tree)]);
     }
@@ -267,6 +282,7 @@ pub fn fig6(opts: &ExpOptions) -> Vec<Table> {
         let cfg = GoCastConfig::default().with_degrees(c, 6 - c);
         eprintln!("  adapting overlay with C_rand = {c} ...");
         let res = run_adaptation(opts, &cfg, &[], 0);
+        log_kernel(&res.kernel);
         snaps.push(res.final_snapshot);
     }
     for &f in &fracs {
@@ -288,6 +304,7 @@ pub fn fig6(opts: &ExpOptions) -> Vec<Table> {
 /// stabilizes.
 pub fn ext1(opts: &ExpOptions) -> Vec<Table> {
     let res = run_adaptation(opts, &GoCastConfig::default(), &[], 0);
+    log_kernel(&res.kernel);
     let mut t = Table::new(["t(s)", "link changes/s"]);
     for (s, &c) in res.link_changes_per_sec.iter().enumerate() {
         t.row([s.to_string(), c.to_string()]);
@@ -295,7 +312,11 @@ pub fn ext1(opts: &ExpOptions) -> Vec<Table> {
     println!("§3(1) — link changes per second (n = {}):", opts.nodes);
     let mut short = Table::new(["t(s)", "changes/s"]);
     let series = &res.link_changes_per_sec;
-    for (s, &c) in series.iter().enumerate().step_by((series.len() / 12).max(1)) {
+    for (s, &c) in series
+        .iter()
+        .enumerate()
+        .step_by((series.len() / 12).max(1))
+    {
         short.row([s.to_string(), c.to_string()]);
     }
     println!("{short}");
@@ -318,6 +339,7 @@ pub fn ext2(opts: &ExpOptions) -> Vec<Table> {
         let cfg = GoCastConfig::default().with_degrees(c, 6 - c);
         eprintln!("  adapting overlay with C_rand = {c} ...");
         let res = run_adaptation(opts, &cfg, &[], 0);
+        log_kernel(&res.kernel);
         let net = build_network(opts);
         let (all, rand, near) = overlay_latency_breakdown(&res.final_snapshot, &net);
         t.row([
@@ -342,6 +364,7 @@ pub fn ext3(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
         let o = opts.clone().with_nodes(n);
         eprintln!("  adapting overlay with n = {n} ...");
         let res = run_adaptation(&o, &GoCastConfig::default(), &[], 0);
+        log_kernel(&res.kernel);
         let adj = res.final_snapshot.overlay_adjacency();
         let alive = vec![true; n];
         t.row([
@@ -387,82 +410,87 @@ pub fn ext4(opts: &ExpOptions) -> Vec<Table> {
 
     // GoCast with pair tracking; exclude warm-up traffic.
     for &payload in &[1024u32, 64] {
-    eprintln!("  running GoCast stress (payload {payload} B) ...");
-    let cfg = GoCastConfig::default().with_payload_size(payload);
-    let mut sim = build_gocast_sim(opts, &cfg, true);
-    sim.run_until(SimTime::ZERO + opts.warmup);
-    sim.reset_stats();
-    let start = sim.now() + Duration::from_millis(100);
-    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5EED);
-    for i in 0..opts.messages {
-        let at = start + Duration::from_secs_f64(i as f64 / opts.rate);
-        let src = NodeId::new(rng.gen_range(0..opts.nodes as u32));
-        sim.schedule_command(at, src, GoCastCommand::Multicast);
-    }
-    sim.run_until(start + opts.inject_duration() + opts.drain);
-    {
-        let pairs = sim.stats().pair_counts().expect("pair tracking enabled");
-        let stress = LinkStress::from_pair_counts(&topo, &net_probe, pairs);
-        maxes.push(stress.max());
-        for (l, bytes) in stress.top_k(3) {
-            eprintln!(
-                "    GoCast hot link {:?} ({}): {:.1} MB",
-                l,
-                classify(l),
-                bytes as f64 / 1e6
-            );
+        eprintln!("  running GoCast stress (payload {payload} B) ...");
+        let cfg = GoCastConfig::default().with_payload_size(payload);
+        let mut sim = build_gocast_sim(opts, &cfg, true);
+        sim.run_until(SimTime::ZERO + opts.warmup);
+        sim.reset_stats();
+        let start = sim.now() + Duration::from_millis(100);
+        let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5EED);
+        for i in 0..opts.messages {
+            let at = start + Duration::from_secs_f64(i as f64 / opts.rate);
+            let src = NodeId::new(rng.gen_range(0..opts.nodes as u32));
+            sim.schedule_command(at, src, GoCastCommand::Multicast);
         }
-        t.row([
-            format!("GoCast ({payload} B)"),
-            format!("{:.1}", stress.max() as f64 / 1e3),
-            format!("{:.1}", stress.mean_over_used() / 1e3),
-            stress.links_used().to_string(),
-            format!("{:.2}", stress.total() as f64 / 1e6),
-        ]);
-    }
+        sim.run_until(start + opts.inject_duration() + opts.drain);
+        log_kernel(&sim.kernel_stats());
+        {
+            let pairs = sim.stats().pair_counts().expect("pair tracking enabled");
+            let stress = LinkStress::from_pair_counts(&topo, &net_probe, pairs);
+            maxes.push(stress.max());
+            for (l, bytes) in stress.top_k(3) {
+                eprintln!(
+                    "    GoCast hot link {:?} ({}): {:.1} MB",
+                    l,
+                    classify(l),
+                    bytes as f64 / 1e6
+                );
+            }
+            t.row([
+                format!("GoCast ({payload} B)"),
+                format!("{:.1}", stress.max() as f64 / 1e3),
+                format!("{:.1}", stress.mean_over_used() / 1e3),
+                stress.links_used().to_string(),
+                format!("{:.2}", stress.total() as f64 / 1e6),
+            ]);
+        }
     }
 
     // Push gossip, fanout 5.
     for &payload in &[1024u32, 64] {
-    eprintln!("  running gossip stress (payload {payload} B) ...");
-    let gcfg = PushGossipConfig { payload_size: payload, ..Default::default() };
-    let net = build_network(opts);
-    let mut sim = SimBuilder::new(net)
-        .seed(opts.seed)
-        .track_pair_counts()
-        .build_with(MetricsRecorder::new(), |id| {
-            PushGossipNode::new(id, gcfg.clone())
-        });
-    sim.run_until(SimTime::from_secs(2));
-    sim.reset_stats();
-    let start = sim.now() + Duration::from_millis(100);
-    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5EED);
-    for i in 0..opts.messages {
-        let at = start + Duration::from_secs_f64(i as f64 / opts.rate);
-        let src = NodeId::new(rng.gen_range(0..opts.nodes as u32));
-        sim.schedule_command(at, src, GoCastCommand::Multicast);
-    }
-    sim.run_until(start + opts.inject_duration() + opts.drain);
-    {
-        let pairs = sim.stats().pair_counts().expect("pair tracking enabled");
-        let stress = LinkStress::from_pair_counts(&topo, &net_probe, pairs);
-        maxes.push(stress.max());
-        for (l, bytes) in stress.top_k(3) {
-            eprintln!(
-                "    gossip hot link {:?} ({}): {:.1} MB",
-                l,
-                classify(l),
-                bytes as f64 / 1e6
-            );
+        eprintln!("  running gossip stress (payload {payload} B) ...");
+        let gcfg = PushGossipConfig {
+            payload_size: payload,
+            ..Default::default()
+        };
+        let net = build_network(opts);
+        let mut sim = SimBuilder::new(net)
+            .seed(opts.seed)
+            .track_pair_counts()
+            .build_with(MetricsRecorder::new(), |id| {
+                PushGossipNode::new(id, gcfg.clone())
+            });
+        sim.run_until(SimTime::from_secs(2));
+        sim.reset_stats();
+        let start = sim.now() + Duration::from_millis(100);
+        let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5EED);
+        for i in 0..opts.messages {
+            let at = start + Duration::from_secs_f64(i as f64 / opts.rate);
+            let src = NodeId::new(rng.gen_range(0..opts.nodes as u32));
+            sim.schedule_command(at, src, GoCastCommand::Multicast);
         }
-        t.row([
-            format!("gossip F=5 ({payload} B)"),
-            format!("{:.1}", stress.max() as f64 / 1e3),
-            format!("{:.1}", stress.mean_over_used() / 1e3),
-            stress.links_used().to_string(),
-            format!("{:.2}", stress.total() as f64 / 1e6),
-        ]);
-    }
+        sim.run_until(start + opts.inject_duration() + opts.drain);
+        log_kernel(&sim.kernel_stats());
+        {
+            let pairs = sim.stats().pair_counts().expect("pair tracking enabled");
+            let stress = LinkStress::from_pair_counts(&topo, &net_probe, pairs);
+            maxes.push(stress.max());
+            for (l, bytes) in stress.top_k(3) {
+                eprintln!(
+                    "    gossip hot link {:?} ({}): {:.1} MB",
+                    l,
+                    classify(l),
+                    bytes as f64 / 1e6
+                );
+            }
+            t.row([
+                format!("gossip F=5 ({payload} B)"),
+                format!("{:.1}", stress.max() as f64 / 1e3),
+                format!("{:.1}", stress.mean_over_used() / 1e3),
+                stress.links_used().to_string(),
+                format!("{:.2}", stress.total() as f64 / 1e6),
+            ]);
+        }
     }
 
     println!(
@@ -491,6 +519,7 @@ pub fn ext5(opts: &ExpOptions) -> Vec<Table> {
             Proto::PushGossip(PushGossipConfig::default().with_fanout(fanout)),
             0.0,
         );
+        log_kernel(&stats.kernel);
         if !stats.per_node_avg.is_empty() {
             means.push((fanout, stats.per_node_avg.mean()));
         }
@@ -520,6 +549,7 @@ pub fn txt1(opts: &ExpOptions) -> Vec<Table> {
         let cfg = GoCastConfig::default().with_pull_delay(Duration::from_millis(f_ms));
         eprintln!("  running GoCast with f = {f_ms} ms ...");
         let stats = run_delay(opts, Proto::GoCast(cfg), 0.0);
+        log_kernel(&stats.kernel);
         t.row([
             format!("{} ms", f_ms),
             format!("{:.4}", stats.redundancy),
@@ -531,9 +561,7 @@ pub fn txt1(opts: &ExpOptions) -> Vec<Table> {
             stats.pulls.to_string(),
         ]);
     }
-    println!(
-        "§2.1 (txt1) — redundant receptions vs pull delay (paper: 1.02 -> 1.0005):\n{t}"
-    );
+    println!("§2.1 (txt1) — redundant receptions vs pull delay (paper: 1.02 -> 1.0005):\n{t}");
     opts.write_csv("txt1", &t);
     vec![t]
 }
@@ -543,6 +571,7 @@ pub fn txt1(opts: &ExpOptions) -> Vec<Table> {
 pub fn txt2(opts: &ExpOptions) -> Vec<Table> {
     let cfg = GoCastConfig::default();
     let res = run_adaptation(opts, &cfg, &[], 0);
+    log_kernel(&res.kernel);
     let mut t = Table::new(["quantity", "at target", "at target+1", "paper"]);
     t.row([
         format!("random degree (C_rand = {})", cfg.c_rand),
@@ -556,7 +585,10 @@ pub fn txt2(opts: &ExpOptions) -> Vec<Table> {
         format!("{:.1}%", res.near_hist.fraction(cfg.c_near + 1) * 100.0),
         "70% / 30%".to_string(),
     ]);
-    println!("§2.2 (txt2) — degree split after adaptation (n = {}):\n{t}", opts.nodes);
+    println!(
+        "§2.2 (txt2) — degree split after adaptation (n = {}):\n{t}",
+        opts.nodes
+    );
     opts.write_csv("txt2", &t);
     vec![t]
 }
@@ -578,13 +610,15 @@ pub fn txt4(opts: &ExpOptions) -> Vec<Table> {
         let net = gocast_net::two_continents(opts.nodes, opts.seed ^ 0x2C);
         let mut boot =
             gocast::bootstrap_random_graph(opts.nodes, cfg.c_degree() / 2, opts.seed ^ 0xB007);
-        let mut sim = SimBuilder::new(net)
-            .seed(opts.seed)
-            .build_with(MetricsRecorder::new(), |id| {
-                let (links, members) = boot(id);
-                gocast::GoCastNode::with_initial_links(id, cfg.clone(), links, members)
-            });
+        let mut sim =
+            SimBuilder::new(net)
+                .seed(opts.seed)
+                .build_with(MetricsRecorder::new(), |id| {
+                    let (links, members) = boot(id);
+                    gocast::GoCastNode::with_initial_links(id, cfg.clone(), links, members)
+                });
         sim.run_until(SimTime::ZERO + opts.warmup);
+        log_kernel(&sim.kernel_stats());
         let snap = gocast::snapshot(&sim);
         let adj = snap.overlay_adjacency();
         let alive = vec![true; opts.nodes];
@@ -649,6 +683,7 @@ pub fn ablations(opts: &ExpOptions) -> Vec<Table> {
     for (name, cfg) in variants {
         eprintln!("  adapting with {name} ...");
         let res = run_adaptation(opts, &cfg, &[], 0);
+        log_kernel(&res.kernel);
         let total: u64 = res.link_changes_per_sec.iter().sum();
         let late: u64 = res.link_changes_per_sec.iter().rev().take(10).sum();
         let net = build_network(opts);
@@ -665,7 +700,10 @@ pub fn ablations(opts: &ExpOptions) -> Vec<Table> {
             fmt_ms(tree),
         ]);
     }
-    println!("Ablations — overlay maintenance design choices (n = {}):\n{t}", opts.nodes);
+    println!(
+        "Ablations — overlay maintenance design choices (n = {}):\n{t}",
+        opts.nodes
+    );
     opts.write_csv("ablations", &t);
     vec![t]
 }
@@ -708,20 +746,33 @@ pub fn adaptive(opts: &ExpOptions) -> Vec<Table> {
             sim.schedule_command(at, src, GoCastCommand::Multicast);
         }
         sim.run_until(start + opts.inject_duration() + opts.drain);
+        log_kernel(&sim.kernel_stats());
         let live: Vec<NodeId> = sim.alive_nodes().collect();
         let (avg, incomplete) = sim
             .recorder()
             .per_node_average_delays(opts.messages as u64, &live);
         t.row([
-            if adaptive { "adaptive t and r" } else { "fixed t and r" }.to_string(),
+            if adaptive {
+                "adaptive t and r"
+            } else {
+                "fixed t and r"
+            }
+            .to_string(),
             format!(
                 "{:.1}",
                 idle_total as f64 / opts.nodes as f64 / quiet.as_secs_f64()
             ),
             idle_probe.to_string(),
             idle_gossip.to_string(),
-            if avg.is_empty() { "-".into() } else { fmt_secs(avg.mean()) },
-            format!("{:.4}", (live.len() - incomplete) as f64 / live.len() as f64),
+            if avg.is_empty() {
+                "-".into()
+            } else {
+                fmt_secs(avg.mean())
+            },
+            format!(
+                "{:.4}",
+                (live.len() - incomplete) as f64 / live.len() as f64
+            ),
         ]);
     }
     println!(

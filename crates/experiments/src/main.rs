@@ -162,24 +162,22 @@ fn main() {
             let seeds = 5;
             eprintln!("sweeping GoCast vs gossip mean delay over {seeds} seeds ...");
             let go = gocast_experiments::sweep::sweep_seeds(&opts, seeds, |o| {
-                gocast_experiments::runners::run_delay(
+                let s = gocast_experiments::runners::run_delay(
                     o,
                     gocast_experiments::Proto::GoCast(Default::default()),
                     0.0,
-                )
-                .per_node_avg
-                .mean()
-                .as_secs_f64()
+                );
+                eprintln!("    kernel[GoCast seed {}]: {}", o.seed, s.kernel);
+                s.per_node_avg.mean().as_secs_f64()
             });
             let gs = gocast_experiments::sweep::sweep_seeds(&opts, seeds, |o| {
-                gocast_experiments::runners::run_delay(
+                let s = gocast_experiments::runners::run_delay(
                     o,
                     gocast_experiments::Proto::PushGossip(Default::default()),
                     0.0,
-                )
-                .per_node_avg
-                .mean()
-                .as_secs_f64()
+                );
+                eprintln!("    kernel[gossip seed {}]: {}", o.seed, s.kernel);
+                s.per_node_avg.mean().as_secs_f64()
             });
             println!("GoCast mean delay (s): {go}");
             println!("gossip mean delay (s): {gs}");

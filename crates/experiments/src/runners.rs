@@ -2,13 +2,11 @@
 
 use std::time::Duration;
 
-use gocast::{
-    snapshot, GoCastCommand, GoCastConfig, GoCastNode, LinkKind, Snapshot,
-};
-use gocast_analysis::{Cdf, Histogram, MetricsRecorder};
+use gocast::{snapshot, GoCastCommand, GoCastConfig, GoCastNode, LinkKind, Snapshot};
+use gocast_analysis::{Cdf, DelayHistogram, Histogram, MetricsRecorder};
 use gocast_baselines::{PushGossipConfig, PushGossipNode};
 use gocast_net::{synthetic_king, SiteLatencyMatrix, SyntheticKingConfig};
-use gocast_sim::{NodeId, Sim, SimBuilder, SimTime};
+use gocast_sim::{KernelStats, NodeId, Sim, SimBuilder, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,14 +46,18 @@ pub struct DelayStats {
     /// Nodes that missed at least one message (the paper's gossip curves
     /// saturate below 1.0 because of these).
     pub incomplete_nodes: usize,
-    /// CDF over all (node, message) delays.
-    pub all_delays: Cdf,
+    /// Streaming histogram over all (node, message) delays — bounded
+    /// memory regardless of how many deliveries the run produced.
+    pub all_delays: DelayHistogram,
     /// Mean receptions per delivered message (1.0 = no duplicates).
     pub redundancy: f64,
     /// Fraction of deliveries over tree links.
     pub tree_fraction: f64,
     /// Pull requests issued during the run.
     pub pulls: u64,
+    /// Kernel counters snapshotted at the end of the run (events
+    /// processed, drops, queue high-water, events/sec).
+    pub kernel: KernelStats,
 }
 
 /// The synthetic-King network for a given option set.
@@ -84,11 +86,8 @@ fn failure_set(opts: &ExpOptions, fail_frac: f64) -> Vec<NodeId> {
 
 /// Schedules `opts.messages` multicasts at `opts.rate` from random live
 /// sources, starting at `start`.
-fn schedule_injections<P>(
-    sim: &mut Sim<P, MetricsRecorder>,
-    opts: &ExpOptions,
-    start: SimTime,
-) where
+fn schedule_injections<P>(sim: &mut Sim<P, MetricsRecorder>, opts: &ExpOptions, start: SimTime)
+where
     P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
 {
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5EED);
@@ -116,10 +115,11 @@ where
         live_nodes: live.len(),
         per_node_avg,
         incomplete_nodes: incomplete,
-        all_delays: rec.delay_cdf(),
+        all_delays: rec.delay_histogram().clone(),
         redundancy: rec.redundancy_factor(),
         tree_fraction: rec.tree_fraction(),
         pulls: rec.pulls(),
+        kernel: sim.kernel_stats(),
     }
 }
 
@@ -215,6 +215,8 @@ pub struct AdaptationResult {
     pub final_snapshot: Snapshot,
     /// Final average total degree.
     pub mean_degree: f64,
+    /// Kernel counters snapshotted at the end of the run.
+    pub kernel: KernelStats,
 }
 
 /// Runs the paper's adaptation experiment: all nodes boot simultaneously
@@ -227,9 +229,11 @@ pub fn run_adaptation(
     latency_secs: u64,
 ) -> AdaptationResult {
     let mut sim = build_gocast_sim(opts, cfg, false);
-    let end = opts.warmup.as_secs().max(latency_secs).max(
-        snap_times.iter().copied().max().unwrap_or(0),
-    );
+    let end = opts
+        .warmup
+        .as_secs()
+        .max(latency_secs)
+        .max(snap_times.iter().copied().max().unwrap_or(0));
     let mut degree_hists = Vec::new();
     let mut latency_series = Vec::new();
     for sec in 0..=end {
@@ -249,12 +253,10 @@ pub fn run_adaptation(
     }
     let final_snapshot = snapshot(&sim);
     let mean_degree = final_snapshot.degrees().iter().sum::<usize>() as f64 / opts.nodes as f64;
-    let rand_hist = Histogram::from_values(
-        sim.iter_nodes().map(|(_, n)| n.degrees().d_rand as usize),
-    );
-    let near_hist = Histogram::from_values(
-        sim.iter_nodes().map(|(_, n)| n.degrees().d_near as usize),
-    );
+    let rand_hist =
+        Histogram::from_values(sim.iter_nodes().map(|(_, n)| n.degrees().d_rand as usize));
+    let near_hist =
+        Histogram::from_values(sim.iter_nodes().map(|(_, n)| n.degrees().d_near as usize));
     AdaptationResult {
         degree_hists,
         latency_series,
@@ -263,6 +265,7 @@ pub fn run_adaptation(
         near_hist,
         final_snapshot,
         mean_degree,
+        kernel: sim.kernel_stats(),
     }
 }
 
@@ -389,7 +392,10 @@ mod tests {
         let last = res.latency_series.last().unwrap();
         assert!(last.1 < first.1, "overlay latency should fall");
         assert!(res.mean_degree > 5.0 && res.mean_degree < 8.0);
-        assert!(res.rand_hist.fraction(1) > 0.5, "most nodes have 1 random link");
+        assert!(
+            res.rand_hist.fraction(1) > 0.5,
+            "most nodes have 1 random link"
+        );
     }
 
     #[test]
@@ -397,7 +403,10 @@ mod tests {
         let opts = tiny();
         let res = run_adaptation(&opts, &GoCastConfig::default(), &[], 0);
         let q0 = resilience_q(&res.final_snapshot, 0.0, 2, 7);
-        assert!((q0 - 1.0).abs() < 1e-9, "connected overlay, q = 1, got {q0}");
+        assert!(
+            (q0 - 1.0).abs() < 1e-9,
+            "connected overlay, q = 1, got {q0}"
+        );
         let q_half = resilience_q(&res.final_snapshot, 0.5, 2, 7);
         assert!(q_half <= 1.0);
     }

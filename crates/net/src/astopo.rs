@@ -117,7 +117,12 @@ impl AsTopology {
         seed: u64,
     ) -> Self {
         assert!(!groups.is_empty(), "need at least one site");
-        Self::build(as_count, links_per_new, SiteAttachment::Grouped(groups), seed)
+        Self::build(
+            as_count,
+            links_per_new,
+            SiteAttachment::Grouped(groups),
+            seed,
+        )
     }
 
     /// Builds a two-level **transit–stub** topology (the classic GT-ITM
@@ -249,12 +254,7 @@ impl AsTopology {
             .collect()
     }
 
-    fn build(
-        as_count: usize,
-        links_per_new: usize,
-        attachment: SiteAttachment,
-        seed: u64,
-    ) -> Self {
+    fn build(as_count: usize, links_per_new: usize, attachment: SiteAttachment, seed: u64) -> Self {
         assert!(links_per_new > 0, "links_per_new must be positive");
         assert!(
             as_count >= links_per_new + 2,
@@ -310,9 +310,9 @@ impl AsTopology {
             stubs
         };
         let site_as = match attachment {
-            SiteAttachment::Random(n) => (0..n)
-                .map(|_| pool[rng.gen_range(0..pool.len())])
-                .collect(),
+            SiteAttachment::Random(n) => {
+                (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+            }
             SiteAttachment::Grouped(groups) => groups
                 .into_iter()
                 .map(|g| pool[g as usize % pool.len()])
@@ -465,7 +465,10 @@ mod tests {
         let t = topo();
         let max_deg = (0..64u32).map(|v| t.degree(v)).max().unwrap();
         let min_deg = (0..64u32).map(|v| t.degree(v)).min().unwrap();
-        assert!(max_deg >= 3 * min_deg, "expected hubs, got max {max_deg} min {min_deg}");
+        assert!(
+            max_deg >= 3 * min_deg,
+            "expected hubs, got max {max_deg} min {min_deg}"
+        );
     }
 
     #[test]
@@ -479,8 +482,7 @@ mod tests {
                 } else {
                     assert!(!links.is_empty());
                     // Path endpoints must touch both ASes.
-                    let flat: Vec<u32> =
-                        links.iter().flat_map(|&(x, y)| [x, y]).collect();
+                    let flat: Vec<u32> = links.iter().flat_map(|&(x, y)| [x, y]).collect();
                     assert!(flat.contains(&t.as_of_site(a)));
                     assert!(flat.contains(&t.as_of_site(b)));
                 }
@@ -548,10 +550,8 @@ mod tests {
         assert_eq!(groups.len(), 20);
         // No group spans both continents (inter-continent latency is
         // ~10x intra), so continents map to disjoint group sets.
-        let west: std::collections::HashSet<u32> =
-            (0..10).map(|s| groups[s as usize]).collect();
-        let east: std::collections::HashSet<u32> =
-            (10..20).map(|s| groups[s as usize]).collect();
+        let west: std::collections::HashSet<u32> = (0..10).map(|s| groups[s as usize]).collect();
+        let east: std::collections::HashSet<u32> = (10..20).map(|s| groups[s as usize]).collect();
         assert!(west.is_disjoint(&east), "west {west:?} east {east:?}");
     }
 

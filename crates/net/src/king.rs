@@ -31,17 +31,41 @@ struct Cluster {
 /// Continent layout loosely modelled on real inter-region latencies.
 const CLUSTERS: [Cluster; 6] = [
     // North America
-    Cluster { center: (0.0, 0.0), sigma: 14.0, weight: 0.42 },
+    Cluster {
+        center: (0.0, 0.0),
+        sigma: 14.0,
+        weight: 0.42,
+    },
     // Europe
-    Cluster { center: (48.0, 4.0), sigma: 11.0, weight: 0.28 },
+    Cluster {
+        center: (48.0, 4.0),
+        sigma: 11.0,
+        weight: 0.28,
+    },
     // Asia
-    Cluster { center: (98.0, 26.0), sigma: 16.0, weight: 0.17 },
+    Cluster {
+        center: (98.0, 26.0),
+        sigma: 16.0,
+        weight: 0.17,
+    },
     // South America
-    Cluster { center: (28.0, 58.0), sigma: 12.0, weight: 0.06 },
+    Cluster {
+        center: (28.0, 58.0),
+        sigma: 12.0,
+        weight: 0.06,
+    },
     // Oceania
-    Cluster { center: (112.0, 72.0), sigma: 10.0, weight: 0.05 },
+    Cluster {
+        center: (112.0, 72.0),
+        sigma: 10.0,
+        weight: 0.05,
+    },
     // Africa
-    Cluster { center: (64.0, 38.0), sigma: 12.0, weight: 0.02 },
+    Cluster {
+        center: (64.0, 38.0),
+        sigma: 12.0,
+        weight: 0.02,
+    },
 ];
 
 /// Configuration for [`synthetic_king`].

@@ -36,12 +36,7 @@ impl SiteLatencyMatrix {
     /// Panics if `lat_us.len() != sites * sites`, if the table is not
     /// symmetric with a zero diagonal, or if any node maps to a site out of
     /// range.
-    pub fn new(
-        sites: usize,
-        lat_us: Vec<u32>,
-        node_site: Vec<u32>,
-        intra_site: Duration,
-    ) -> Self {
+    pub fn new(sites: usize, lat_us: Vec<u32>, node_site: Vec<u32>, intra_site: Duration) -> Self {
         assert_eq!(lat_us.len(), sites * sites, "latency table has wrong size");
         for i in 0..sites {
             assert_eq!(lat_us[i * sites + i], 0, "diagonal must be zero");
@@ -141,7 +136,11 @@ mod tests {
         let n = NodeId::new;
         assert_eq!(m.one_way(n(0), n(2)), Duration::from_millis(10));
         assert_eq!(m.one_way(n(2), n(3)), Duration::from_millis(30));
-        assert_eq!(m.one_way(n(0), n(1)), Duration::from_micros(500), "intra-site");
+        assert_eq!(
+            m.one_way(n(0), n(1)),
+            Duration::from_micros(500),
+            "intra-site"
+        );
         assert_eq!(m.one_way(n(3), n(3)), Duration::ZERO);
         assert_eq!(m.len(), 4);
         assert_eq!(m.site_count(), 3);

@@ -16,6 +16,73 @@ use crate::recorder::{NullRecorder, Recorder};
 use crate::stats::TrafficStats;
 use crate::time::SimTime;
 
+/// Kernel-level execution counters, snapshot via [`Sim::kernel_stats`].
+///
+/// These measure the *kernel itself* — how many events it processed and
+/// how fast — as opposed to [`TrafficStats`], which measures the
+/// protocol's traffic. All counters are cumulative since construction.
+///
+/// Wall-clock time is accrued by the run loops ([`Sim::run_until`],
+/// [`Sim::run_until_idle`], [`Sim::run_for`]); stepping manually with
+/// [`Sim::step`] advances the event counters but not `wall_time`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Total events popped from the queue and executed.
+    pub events_processed: u64,
+    /// Message deliveries dispatched to a protocol handler.
+    pub deliveries: u64,
+    /// Messages dropped in flight (dead destination or failed link).
+    pub messages_dropped: u64,
+    /// Timer firings dispatched.
+    pub timers_fired: u64,
+    /// Commands dispatched.
+    pub commands: u64,
+    /// Kernel control events executed (node failures, link up/down).
+    pub control_events: u64,
+    /// Total events ever scheduled (including still-pending ones).
+    pub events_scheduled: u64,
+    /// Events pending at snapshot time.
+    pub queue_len: usize,
+    /// Highest queue depth observed at any step.
+    pub queue_high_water: usize,
+    /// Wall-clock time spent inside the run loops.
+    pub wall_time: std::time::Duration,
+}
+
+impl KernelStats {
+    /// Messages handed to the network layer (delivered + dropped in flight).
+    pub fn messages_sent(&self) -> u64 {
+        self.deliveries + self.messages_dropped
+    }
+
+    /// Kernel throughput: events processed per wall-clock second.
+    /// Zero until a run loop has accrued measurable wall time.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events_processed as f64 / secs
+        }
+    }
+}
+
+impl std::fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} events ({} delivered, {} dropped, {} timers) in {:.3?}, {:.0} events/sec, queue high-water {}",
+            self.events_processed,
+            self.deliveries,
+            self.messages_dropped,
+            self.timers_fired,
+            self.wall_time,
+            self.events_per_sec(),
+            self.queue_high_water,
+        )
+    }
+}
+
 /// Configures and constructs a [`Sim`].
 ///
 /// ```
@@ -92,6 +159,7 @@ impl SimBuilder {
             net: self.net,
             recorder,
             stats,
+            kernel: KernelStats::default(),
             failed_links: std::collections::HashSet::new(),
             started: false,
         }
@@ -117,6 +185,7 @@ pub struct Sim<P: Protocol, R: Recorder<P::Event> = NullRecorder> {
     net: Box<dyn LatencyModel>,
     recorder: R,
     stats: TrafficStats,
+    kernel: KernelStats,
     /// Currently failed links, as normalized `(min, max)` pairs.
     failed_links: std::collections::HashSet<(NodeId, NodeId)>,
     started: bool,
@@ -212,6 +281,14 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         self.stats.reset();
     }
 
+    /// Snapshot of the kernel execution counters (see [`KernelStats`]).
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut k = self.kernel;
+        k.queue_len = self.queue.len();
+        k.events_scheduled = self.queue.scheduled_total();
+        k
+    }
+
     /// The recorder.
     pub fn recorder(&self) -> &R {
         &self.recorder
@@ -304,13 +381,16 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
     ///
     /// Periodic protocols never go idle; prefer [`Sim::run_until`] for them.
     pub fn run_until_idle(&mut self) {
+        let t0 = std::time::Instant::now();
         self.start();
         while self.step() {}
+        self.kernel.wall_time += t0.elapsed();
     }
 
     /// Processes all events scheduled at or before `deadline`, then advances
     /// the clock to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let t0 = std::time::Instant::now();
         self.start();
         while let Some(at) = self.queue.peek_time() {
             if at > deadline {
@@ -320,6 +400,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         }
         debug_assert!(self.now <= deadline);
         self.now = deadline;
+        self.kernel.wall_time += t0.elapsed();
     }
 
     /// Runs for `d` more simulated time.
@@ -329,33 +410,44 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
+        let depth = self.queue.len();
+        if depth > self.kernel.queue_high_water {
+            self.kernel.queue_high_water = depth;
+        }
         let Some(ev) = self.queue.pop() else {
             return false;
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
+        self.kernel.events_processed += 1;
         match ev.payload {
             KernelEvent::Deliver { from, to, msg } => {
                 if !self.alive[to.index()] || self.failed_links.contains(&link_key(from, to)) {
+                    self.kernel.messages_dropped += 1;
                     self.stats.record_drop_to_dead();
                 } else {
+                    self.kernel.deliveries += 1;
                     self.dispatch_message(to, from, msg);
                 }
             }
             KernelEvent::Fire { node, timer } => {
                 if self.alive[node.index()] {
+                    self.kernel.timers_fired += 1;
                     self.dispatch_timer(node, timer);
                 }
             }
             KernelEvent::Command { node, cmd } => {
                 if self.alive[node.index()] {
+                    self.kernel.commands += 1;
                     self.dispatch_command(node, cmd);
                 }
             }
             KernelEvent::Fail { node } => {
+                self.kernel.control_events += 1;
                 self.alive[node.index()] = false;
             }
             KernelEvent::SetLink { a, b, up } => {
+                self.kernel.control_events += 1;
                 if up {
                     self.heal_link(a, b);
                 } else {
@@ -529,7 +621,10 @@ mod tests {
         let mut sim = ring_sim(4, 1);
         // Cut 1 -> 2 from the start; the token dies on that hop.
         sim.fail_link(NodeId::new(1), NodeId::new(2));
-        assert!(sim.is_link_failed(NodeId::new(2), NodeId::new(1)), "undirected");
+        assert!(
+            sim.is_link_failed(NodeId::new(2), NodeId::new(1)),
+            "undirected"
+        );
         sim.run_until(SimTime::from_millis(100));
         let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
         assert_eq!(total, 1, "only the first hop (0 -> 1) delivers");
@@ -553,6 +648,45 @@ mod tests {
         sim.heal_link_at(sim.now(), NodeId::new(2), NodeId::new(3));
         sim.run_until_idle();
         assert!(!sim.is_link_failed(NodeId::new(2), NodeId::new(3)));
+    }
+
+    #[test]
+    fn kernel_stats_count_events_and_throughput() {
+        let mut sim = ring_sim(4, 1);
+        assert_eq!(sim.kernel_stats(), KernelStats::default());
+        sim.fail_node_at(SimTime::from_millis(15), NodeId::new(2));
+        sim.run_until_idle();
+        let k = sim.kernel_stats();
+        // Hop 0 delivers to n1 at 10ms; hop 1 drops at the dead n2; the
+        // Fail control event fires in between.
+        assert_eq!(k.deliveries, 1);
+        assert_eq!(k.messages_dropped, 1);
+        assert_eq!(k.control_events, 1);
+        assert_eq!(k.events_processed, 3);
+        assert_eq!(k.messages_sent(), 2);
+        assert_eq!(k.events_scheduled, 3);
+        assert_eq!(k.queue_len, 0);
+        assert!(k.queue_high_water >= 1);
+        assert!(k.wall_time > Duration::ZERO);
+        assert!(k.events_per_sec() > 0.0);
+        // Counters are cumulative across runs.
+        sim.command_now(NodeId::new(0), ());
+        sim.run_until_idle();
+        let k2 = sim.kernel_stats();
+        assert_eq!(k2.commands, 1);
+        assert!(k2.events_processed > k.events_processed);
+        assert!(k2.wall_time >= k.wall_time);
+    }
+
+    #[test]
+    fn manual_stepping_counts_events_without_wall_time() {
+        let mut sim = ring_sim(4, 1);
+        sim.start();
+        while sim.step() {}
+        let k = sim.kernel_stats();
+        assert_eq!(k.deliveries, 13);
+        assert_eq!(k.wall_time, Duration::ZERO);
+        assert_eq!(k.events_per_sec(), 0.0);
     }
 
     #[test]

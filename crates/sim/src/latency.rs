@@ -139,12 +139,7 @@ mod tests {
 
     #[test]
     fn hashed_is_symmetric_in_range_and_stable() {
-        let m = HashedLatency::new(
-            64,
-            Duration::from_millis(5),
-            Duration::from_millis(200),
-            9,
-        );
+        let m = HashedLatency::new(64, Duration::from_millis(5), Duration::from_millis(200), 9);
         for i in 0..64u32 {
             for j in (i + 1)..64 {
                 let (a, b) = (NodeId::new(i), NodeId::new(j));
@@ -160,11 +155,13 @@ mod tests {
     fn hashed_varies_with_seed() {
         let a = HashedLatency::new(8, Duration::ZERO, Duration::from_secs(1), 1);
         let b = HashedLatency::new(8, Duration::ZERO, Duration::from_secs(1), 2);
-        let differs = (0..8u32).flat_map(|i| (0..8u32).map(move |j| (i, j))).any(|(i, j)| {
-            i != j
-                && a.one_way(NodeId::new(i), NodeId::new(j))
-                    != b.one_way(NodeId::new(i), NodeId::new(j))
-        });
+        let differs = (0..8u32)
+            .flat_map(|i| (0..8u32).map(move |j| (i, j)))
+            .any(|(i, j)| {
+                i != j
+                    && a.one_way(NodeId::new(i), NodeId::new(j))
+                        != b.one_way(NodeId::new(i), NodeId::new(j))
+            });
         assert!(differs);
     }
 

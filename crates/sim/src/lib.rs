@@ -81,10 +81,10 @@ mod stats;
 mod time;
 
 pub use id::NodeId;
-pub use kernel::{Sim, SimBuilder};
+pub use kernel::{KernelStats, Sim, SimBuilder};
 pub use latency::{FixedLatency, HashedLatency, LatencyModel};
 pub use protocol::{Ctx, HostBackend, Protocol, Timer, Wire};
 pub use queue::{EventQueue, Scheduled};
-pub use recorder::{FnRecorder, NullRecorder, Recorder, VecRecorder};
+pub use recorder::{FilterRecorder, FnRecorder, NullRecorder, Recorder, TeeRecorder, VecRecorder};
 pub use stats::{ClassCounters, TrafficClass, TrafficStats};
 pub use time::SimTime;

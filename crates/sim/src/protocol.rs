@@ -216,7 +216,9 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     /// Sending to self delivers after zero latency (still asynchronously).
     pub fn send(&mut self, to: NodeId, msg: P::Msg) {
         match &mut self.inner {
-            CtxInner::Sim { queue, net, stats, .. } => {
+            CtxInner::Sim {
+                queue, net, stats, ..
+            } => {
                 let latency = net.one_way(self.id, to);
                 stats.record(self.id, to, msg.wire_size(), msg.class());
                 queue.schedule(
@@ -265,7 +267,14 @@ mod tests {
     #[test]
     fn timer_constructors() {
         let t = Timer::of_kind(3);
-        assert_eq!(t, Timer { kind: 3, a: 0, b: 0 });
+        assert_eq!(
+            t,
+            Timer {
+                kind: 3,
+                a: 0,
+                b: 0
+            }
+        );
         let t = Timer::with_payload(1, 2, 3);
         assert_eq!(t.kind, 1);
         assert_eq!(t.a, 2);

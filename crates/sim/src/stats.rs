@@ -181,7 +181,11 @@ mod tests {
         s.record(NodeId::new(2), NodeId::new(5), 7, TrafficClass::Gossip);
         let pairs = s.pair_counts().unwrap();
         assert_eq!(pairs.len(), 1);
-        assert_eq!(pairs[&(NodeId::new(2), NodeId::new(5))], 17, "bytes, both directions");
+        assert_eq!(
+            pairs[&(NodeId::new(2), NodeId::new(5))],
+            17,
+            "bytes, both directions"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use gocast::{decode, encode, GoCastCommand, GoCastEvent, GoCastNode, GoCastMsg};
+use gocast::{decode, encode, GoCastCommand, GoCastEvent, GoCastMsg, GoCastNode};
 use gocast_sim::{Ctx, HostBackend, NodeId, Protocol, SimTime, Timer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -357,10 +357,8 @@ mod tests {
                     NodeId::new((i + n as u32 - 1) % n as u32),
                     NodeId::new((i + 2) % n as u32),
                 ];
-                let members: Vec<NodeId> = (0..n as u32)
-                    .filter(|&j| j != i)
-                    .map(NodeId::new)
-                    .collect();
+                let members: Vec<NodeId> =
+                    (0..n as u32).filter(|&j| j != i).map(NodeId::new).collect();
                 let node = GoCastNode::with_initial_links(
                     NodeId::new(i),
                     deployment_config(),
@@ -378,7 +376,10 @@ mod tests {
         assert_eq!(book.len(), 3);
         assert!(!book.is_empty());
         assert_eq!(book.addr(NodeId::new(1)).port(), 9802);
-        assert_eq!(book.node_of(book.addr(NodeId::new(2))), Some(NodeId::new(2)));
+        assert_eq!(
+            book.node_of(book.addr(NodeId::new(2))),
+            Some(NodeId::new(2))
+        );
         assert_eq!(book.node_of("10.0.0.1:1".parse().unwrap()), None);
     }
 
@@ -437,7 +438,9 @@ mod tests {
         // A stranger floods garbage at node 0's port.
         let attacker = UdpSocket::bind("127.0.0.1:0").unwrap();
         for _ in 0..50 {
-            attacker.send_to(&[0xFF, 0x00, 0x13], book.addr(NodeId::new(0))).unwrap();
+            attacker
+                .send_to(&[0xFF, 0x00, 0x13], book.addr(NodeId::new(0)))
+                .unwrap();
         }
         host.run_for(Duration::from_millis(300));
         // Still alive and still schedules protocol work.

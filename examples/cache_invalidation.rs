@@ -102,12 +102,12 @@ where
     let rec = sim.recorder();
     let nodes: Vec<NodeId> = sim.alive_nodes().collect();
     let (_, incomplete) = rec.per_node_average_delays(WRITES as u64, &nodes);
-    let cdf = rec.delay_cdf();
+    let hist = rec.delay_histogram();
     Outcome {
         name,
         complete_replicas: N - incomplete,
-        stale_p50_ms: cdf.percentile(0.5).as_secs_f64() * 1e3,
-        stale_p99_ms: cdf.percentile(0.99).as_secs_f64() * 1e3,
+        stale_p50_ms: hist.percentile(0.5).as_secs_f64() * 1e3,
+        stale_p99_ms: hist.percentile(0.99).as_secs_f64() * 1e3,
         bytes_sent_mb: sim.stats().total().bytes as f64 / 1e6,
     }
 }

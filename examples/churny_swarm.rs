@@ -21,7 +21,10 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let total = 128usize; // address space
     let core = 64usize; // initially joined
-    println!("churny swarm: {core} founding nodes; {} joiners; then churn\n", total - core);
+    println!(
+        "churny swarm: {core} founding nodes; {} joiners; then churn\n",
+        total - core
+    );
 
     let net = synthetic_king(
         total,
@@ -107,13 +110,19 @@ fn main() {
         members.len()
     );
     println!("post-churn multicast: {delivered}/{expected} deliveries");
-    let degrees: Vec<u16> = members.iter().map(|&id| sim.node(id).degrees().total()).collect();
+    let degrees: Vec<u16> = members
+        .iter()
+        .map(|&id| sim.node(id).degrees().total())
+        .collect();
     let at_target = degrees.iter().filter(|&&d| (6..=7).contains(&d)).count();
     println!(
         "degrees: {}/{} members at 6-7 (self-healing back to target)",
         at_target,
         members.len()
     );
-    assert_eq!(delivered, expected, "every surviving member must receive every message");
+    assert_eq!(
+        delivered, expected,
+        "every surviving member must receive every message"
+    );
     println!("\nswarm absorbed the churn — done.");
 }

@@ -54,7 +54,8 @@ fn main() {
         GoCastEvent::Delivered { id, .. } => {
             if let Some(&t0) = inj.borrow().get(&id) {
                 let mut w = w.borrow_mut();
-                w.delays_ms.push(now.saturating_since(t0).as_secs_f64() * 1e3);
+                w.delays_ms
+                    .push(now.saturating_since(t0).as_secs_f64() * 1e3);
                 w.delivered += 1;
             }
         }
@@ -73,7 +74,9 @@ fn main() {
     // Schedule the rack failure: 15% of agents, one "rack" = a contiguous
     // id range (they share sites, so this is a correlated failure).
     let mut rng = SmallRng::seed_from_u64(99);
-    let failed: Vec<NodeId> = (0..(n as u32 * 15 / 100)).map(|i| NodeId::new(40 + i)).collect();
+    let failed: Vec<NodeId> = (0..(n as u32 * 15 / 100))
+        .map(|i| NodeId::new(40 + i))
+        .collect();
     for &id in &failed {
         sim.fail_node_at(SimTime::from_secs(120), id);
     }
@@ -103,8 +106,8 @@ fn main() {
             if !w.delays_ms.is_empty() {
                 w.delays_ms.sort_by(f64::total_cmp);
                 let pct = |w: &Window, p: f64| {
-                    w.delays_ms[((w.delays_ms.len() as f64 * p) as usize)
-                        .min(w.delays_ms.len() - 1)]
+                    w.delays_ms
+                        [((w.delays_ms.len() as f64 * p) as usize).min(w.delays_ms.len() - 1)]
                 };
                 println!(
                     "{:>8.0}  {:>9}  {:>10.1}  {:>10.1}  {:>10.1}",

@@ -33,10 +33,8 @@ fn main() {
     let hosts: Vec<UdpHost> = (0..n)
         .map(|i| {
             let links = vec![NodeId::new((i + 1) % n), NodeId::new((i + 3) % n)];
-            let members: Vec<NodeId> =
-                (0..n).filter(|&j| j != i).map(NodeId::new).collect();
-            let node =
-                GoCastNode::with_initial_links(NodeId::new(i), cfg.clone(), links, members);
+            let members: Vec<NodeId> = (0..n).filter(|&j| j != i).map(NodeId::new).collect();
+            let node = GoCastNode::with_initial_links(NodeId::new(i), cfg.clone(), links, members);
             UdpHost::bind(node, book.clone(), 1000 + i as u64).expect("bind UDP port")
         })
         .collect();

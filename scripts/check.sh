@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 test suite.
+#
+# Usage: scripts/check.sh
+# Runs from any directory; everything executes at the workspace root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

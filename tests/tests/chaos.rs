@@ -37,10 +37,8 @@ fn continuous_traffic_survives_randomized_chaos() {
         match rng.gen_range(0..10) {
             // 60%: multicast from a random healthy node.
             0..=5 => {
-                let candidates: Vec<NodeId> = sim
-                    .alive_nodes()
-                    .filter(|id| !left.contains(id))
-                    .collect();
+                let candidates: Vec<NodeId> =
+                    sim.alive_nodes().filter(|id| !left.contains(id)).collect();
                 let src = candidates[rng.gen_range(0..candidates.len())];
                 sim.command_now(src, GoCastCommand::Multicast);
                 injected.push((MsgId::new(src, seq_per_node[src.index()]), now));
@@ -49,10 +47,8 @@ fn continuous_traffic_survives_randomized_chaos() {
             // 10%: crash a node (keep at most 15% down).
             6 => {
                 if crashed.len() < n * 15 / 100 {
-                    let candidates: Vec<NodeId> = sim
-                        .alive_nodes()
-                        .filter(|id| !left.contains(id))
-                        .collect();
+                    let candidates: Vec<NodeId> =
+                        sim.alive_nodes().filter(|id| !left.contains(id)).collect();
                     let victim = candidates[rng.gen_range(0..candidates.len())];
                     sim.fail_node(victim);
                     crashed.insert(victim);
@@ -101,10 +97,7 @@ fn continuous_traffic_survives_randomized_chaos() {
     sim.run_for(Duration::from_secs(120));
 
     // Survivors: alive, never left.
-    let survivors: Vec<NodeId> = sim
-        .alive_nodes()
-        .filter(|id| !left.contains(id))
-        .collect();
+    let survivors: Vec<NodeId> = sim.alive_nodes().filter(|id| !left.contains(id)).collect();
     assert!(survivors.len() >= n - n * 15 / 100 - n / 10 - 1);
 
     // Every survivor must hold every message that was injected at least
@@ -128,7 +121,10 @@ fn continuous_traffic_survives_randomized_chaos() {
             }
         }
     }
-    assert!(checked > 1000, "chaos produced too little traffic: {checked}");
+    assert!(
+        checked > 1000,
+        "chaos produced too little traffic: {checked}"
+    );
     let loss = missing as f64 / checked as f64;
     assert!(
         loss < 0.005,
@@ -182,9 +178,6 @@ fn chaos_emits_link_and_delivery_events() {
     sim.run_for(Duration::from_secs(30));
     let rec = sim.recorder();
     assert!(rec.delivered() >= 46);
-    let _ = rec
-        .link_changes_per_sec()
-        .iter()
-        .sum::<u64>();
+    let _ = rec.link_changes_per_sec().iter().sum::<u64>();
     let _: &Vec<(GoCastEvent, ())> = &Vec::new(); // type anchor, no-op
 }

@@ -54,7 +54,10 @@ fn figure3b_failure_ordering_holds() {
     let gocast = runners::run_delay(&opts, Proto::GoCast(GoCastConfig::default()), 0.2);
     let prox = runners::run_delay(&opts, Proto::GoCast(GoCastConfig::proximity_overlay()), 0.2);
     // Overlay-based protocols still deliver everything to live nodes.
-    assert_eq!(gocast.incomplete_nodes, 0, "GoCast must survive 20% failures");
+    assert_eq!(
+        gocast.incomplete_nodes, 0,
+        "GoCast must survive 20% failures"
+    );
     assert_eq!(prox.incomplete_nodes, 0);
     // GoCast still wins despite the broken tree (fragments + gossip).
     assert!(gocast.per_node_avg.mean() < prox.per_node_avg.mean());
@@ -87,7 +90,10 @@ fn resilience_pipeline_matches_paper_shape() {
     let sim = warmed_gocast(128, 74, GoCastConfig::default(), 40);
     let snap = gocast::snapshot(&sim);
     let q25 = runners::resilience_q(&snap, 0.25, 5, 74);
-    assert!(q25 > 0.99, "25% failures should leave the overlay connected, q = {q25}");
+    assert!(
+        q25 > 0.99,
+        "25% failures should leave the overlay connected, q = {q25}"
+    );
     // Heavier failures are allowed to hurt but the trend must be monotone
     // within tolerance.
     let q50 = runners::resilience_q(&snap, 0.5, 5, 74);

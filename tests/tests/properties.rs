@@ -6,9 +6,9 @@ use std::time::Duration;
 
 use gocast::{DegreeInfo, GoCastMsg, LinkKind, MsgId, ProbeKind, HEADER_BYTES};
 use gocast_analysis::{component_sizes, largest_component_fraction, Cdf, Histogram};
-use gocast_sim::Wire as _;
 use gocast_membership::MemberView;
 use gocast_net::{synthetic_king, LandmarkVector, SyntheticKingConfig};
+use gocast_sim::Wire as _;
 use gocast_sim::{EventQueue, LatencyModel, NodeId, SimTime};
 use proptest::prelude::*;
 
@@ -247,6 +247,109 @@ proptest! {
     // Landmark estimation: triangle-bound midpoints are symmetric and
     // respect the bounds.
     // ------------------------------------------------------------------
+
+    // ------------------------------------------------------------------
+    // Streaming observability: the online DeliveryTracker must agree with
+    // the post-hoc VecRecorder + analysis pipeline on the same seeded run.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn streaming_tracker_matches_post_hoc_pipeline(seed in 0u64..6, messages in 1u32..4) {
+        use gocast::{GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode};
+        use gocast_analysis::{DeliveryTracker};
+        use gocast_sim::{Recorder, SimBuilder, VecRecorder};
+        use std::collections::HashMap;
+
+        // One run, two recorders fed the identical event stream via the
+        // tuple combinator: a streaming tracker and a full buffer.
+        let n = 16usize;
+        let net = synthetic_king(
+            n,
+            &SyntheticKingConfig { sites: 32, seed: seed ^ 0xABCD, ..Default::default() },
+        );
+        let mut boot = gocast::bootstrap_random_graph(n, 3, seed);
+        let mut sim = SimBuilder::new(net)
+            .seed(seed)
+            .build_with(
+                (DeliveryTracker::new(), VecRecorder::<GoCastEvent>::new()),
+                |id| {
+                    let (links, members) = boot(id);
+                    GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+                },
+            );
+        sim.run_until(SimTime::from_secs(6));
+        for i in 0..messages {
+            sim.schedule_command(
+                sim.now() + Duration::from_millis(200 * i as u64),
+                NodeId::new(i * 5 % n as u32),
+                GoCastCommand::Multicast,
+            );
+        }
+        sim.run_for(Duration::from_secs(5));
+        let live: Vec<NodeId> = sim.alive_nodes().collect();
+        let (tracker, buffer) = sim.into_recorder();
+
+        // Post-hoc pipeline 1: replay the buffered stream into a fresh
+        // tracker — every aggregate must match the live one exactly.
+        let mut replayed = DeliveryTracker::new();
+        for (t, node, ev) in &buffer.events {
+            replayed.record(*t, *node, ev.clone());
+        }
+        prop_assert_eq!(tracker.injected(), replayed.injected());
+        prop_assert_eq!(tracker.delivered(), replayed.delivered());
+        prop_assert_eq!(tracker.redundant(), replayed.redundant());
+        prop_assert_eq!(tracker.pulls(), replayed.pulls());
+        prop_assert_eq!(tracker.tree_fraction(), replayed.tree_fraction());
+        let (live_cdf, live_inc) = tracker.per_node_average_delays(messages as u64, &live);
+        let (rep_cdf, rep_inc) = replayed.per_node_average_delays(messages as u64, &live);
+        prop_assert_eq!(live_inc, rep_inc);
+        prop_assert_eq!(live_cdf.len(), rep_cdf.len());
+        if !live_cdf.is_empty() {
+            prop_assert_eq!(live_cdf.mean(), rep_cdf.mean());
+            for i in 0..=10 {
+                let p = i as f64 / 10.0;
+                prop_assert_eq!(live_cdf.percentile(p), rep_cdf.percentile(p));
+            }
+        }
+
+        // Post-hoc pipeline 2: fold the buffer by hand into the exact
+        // all-delays distribution and compare against the streaming
+        // histogram: len/mean/min/max exact, percentiles within the
+        // histogram's documented resolution.
+        let mut inject: HashMap<gocast::MsgId, SimTime> = HashMap::new();
+        let mut delays = Vec::new();
+        for (t, _, ev) in &buffer.events {
+            match ev {
+                GoCastEvent::Injected { id } => {
+                    inject.insert(*id, *t);
+                }
+                GoCastEvent::Delivered { id, .. } => {
+                    if let Some(&t0) = inject.get(id) {
+                        delays.push(t.saturating_since(t0));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let hist = tracker.delay_histogram();
+        prop_assert_eq!(hist.len(), delays.len());
+        if delays.is_empty() {
+            prop_assert!(hist.is_empty());
+        } else {
+            let exact = Cdf::from_durations(delays);
+            prop_assert_eq!(hist.mean(), exact.mean());
+            prop_assert_eq!(hist.min(), exact.min());
+            prop_assert_eq!(hist.max(), exact.max());
+            for p in [0.1, 0.5, 0.9, 0.99] {
+                let e = exact.percentile(p).as_secs_f64();
+                let h = hist.percentile(p).as_secs_f64();
+                prop_assert!(
+                    (h - e).abs() <= e * 0.04 + 1e-7,
+                    "p{} diverged: streaming {h}, exact {e}", p
+                );
+            }
+        }
+    }
 
     #[test]
     fn landmark_estimates_are_symmetric_and_bounded(

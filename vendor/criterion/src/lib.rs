@@ -1,0 +1,377 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — groups, `bench_function`, `iter`/`iter_batched`, throughput,
+//! `criterion_group!`/`criterion_main!` — with plain `std::time::Instant`
+//! timing. No statistical analysis, no HTML reports, no CLI filtering:
+//! each benchmark runs a warm-up then iterates until the measurement
+//! time or the sample cap is hit, and prints mean ns/iter (plus
+//! throughput when declared).
+//!
+//! Unlike real criterion, finished measurements are also pushed into a
+//! process-global registry ([`take_results`]) so a custom `main` can
+//! export machine-readable baselines (see `crates/bench/benches/kernel.rs`,
+//! which writes `BENCH_kernel.json`).
+
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the stub times every routine call
+/// individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Declared per-iteration workload, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Derived rate (elements- or bytes-per-second), if throughput was declared.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        let units = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        if self.mean_ns <= 0.0 {
+            return None;
+        }
+        Some(units as f64 * 1e9 / self.mean_ns)
+    }
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap())
+}
+
+const DEFAULT_SAMPLES: u64 = 100;
+
+/// Top-level benchmark driver; mirrors criterion's builder surface.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the per-benchmark warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            id.into(),
+            self.measurement_time,
+            self.warm_up_time,
+            DEFAULT_SAMPLES,
+            None,
+            f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of measured iterations (use small values for
+    /// expensive benchmarks).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Declares the per-iteration workload so a rate is reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            format!("{}/{}", self.name, id.into()),
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    max_samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget or sample
+    /// cap is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let elapsed = loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_time || iters >= self.max_samples {
+                break elapsed;
+            }
+        };
+        self.total += elapsed;
+        self.iters += iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up: one untimed pass
+        let wall = Instant::now();
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            iters += 1;
+            if timed >= self.measurement_time
+                || iters >= self.max_samples
+                || wall.elapsed() >= self.measurement_time.saturating_mul(3)
+            {
+                break;
+            }
+        }
+        self.total += timed;
+        self.iters += iters;
+    }
+}
+
+fn run_bench<F>(
+    id: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    max_samples: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        measurement_time,
+        warm_up_time,
+        max_samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean_ns = if b.iters > 0 {
+        b.total.as_nanos() as f64 / b.iters as f64
+    } else {
+        0.0
+    };
+    let result = BenchResult {
+        id,
+        iters: b.iters,
+        mean_ns,
+        throughput,
+    };
+    match result.rate_per_sec() {
+        Some(rate) => println!(
+            "bench {:<44} {:>14.0} ns/iter ({} iters, {:.3e}/s)",
+            result.id, result.mean_ns, result.iters, rate
+        ),
+        None => println!(
+            "bench {:<44} {:>14.0} ns/iter ({} iters)",
+            result.id, result.mean_ns, result.iters
+        ),
+    }
+    RESULTS.lock().unwrap().push(result);
+}
+
+/// Declares a benchmark group function, criterion-style. Both the
+/// `name = ...; config = ...; targets = ...` form and the positional form
+/// are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `fn main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn groups_record_results_with_throughput() {
+        let mut c = quick();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.throughput(Throughput::Elements(1000));
+            g.sample_size(10);
+            g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+            g.bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u64; 1000],
+                    |v| v.into_iter().sum::<u64>(),
+                    BatchSize::SmallInput,
+                )
+            });
+            g.finish();
+        }
+        c.bench_function("ungrouped", |b| b.iter(|| 2 + 2));
+
+        let results = take_results();
+        let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        assert!(ids.contains(&"demo/sum"));
+        assert!(ids.contains(&"demo/batched"));
+        assert!(ids.contains(&"ungrouped"));
+        for r in &results {
+            assert!(r.iters > 0, "{} measured no iterations", r.id);
+            assert!(r.mean_ns >= 0.0);
+        }
+        let sum = results.iter().find(|r| r.id == "demo/sum").unwrap();
+        assert!(sum.iters <= 10);
+        assert!(sum.rate_per_sec().unwrap() > 0.0);
+    }
+
+    criterion_group!(positional_form, noop_bench);
+    criterion_group! {
+        name = named_form;
+        config = crate::Criterion::default()
+            .measurement_time(std::time::Duration::from_millis(5))
+            .warm_up_time(std::time::Duration::from_millis(1));
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("noop");
+        g.sample_size(2);
+        g.bench_function("nothing", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn macro_forms_compile_and_run() {
+        positional_form();
+        named_form();
+        assert!(take_results().iter().any(|r| r.id == "noop/nothing"));
+    }
+}

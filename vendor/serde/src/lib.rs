@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations on config and stats types — nothing actually serializes
+//! through serde yet (tables write CSV by hand). This stand-in keeps those
+//! annotations compiling in a container with no crates.io access: the
+//! derive macros expand to nothing, and the traits are empty markers.
+//!
+//! If the real serde is ever restored, delete `vendor/serde*` and point
+//! the workspace dependency back at crates.io — no source changes needed.
+
+#![warn(missing_docs)]
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The offline serde stand-in (see `vendor/serde`) never serializes, so
+//! these derives expand to nothing: the annotation compiles, no impl is
+//! generated, and no code can accidentally depend on serde output.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
