@@ -182,7 +182,7 @@ impl Recorder<GoCastEvent> for DeliveryTracker {
                 self.inject_time.insert(id, now);
                 self.node_mut(node).originated += 1;
             }
-            GoCastEvent::Delivered { id, via } => {
+            GoCastEvent::Delivered { id, via, .. } => {
                 self.delivered += 1;
                 if via == gocast::DeliveryPath::Tree {
                     self.delivered_via_tree += 1;
@@ -200,7 +200,11 @@ impl Recorder<GoCastEvent> for DeliveryTracker {
             GoCastEvent::PullRequested { .. } => self.pulls += 1,
             GoCastEvent::ParentChanged { .. } => self.parent_changes += 1,
             GoCastEvent::BecameRoot { .. } => self.root_takeovers += 1,
-            GoCastEvent::LinkAdded { .. } | GoCastEvent::LinkDropped { .. } => {}
+            GoCastEvent::LinkAdded { .. }
+            | GoCastEvent::LinkDropped { .. }
+            | GoCastEvent::PushSent { .. }
+            | GoCastEvent::IHaveSent { .. }
+            | GoCastEvent::PullServed { .. } => {}
         }
     }
 }
@@ -347,6 +351,8 @@ mod tests {
             GoCastEvent::Delivered {
                 id: id(1),
                 via: DeliveryPath::Tree,
+                from: NodeId::new(0),
+                hop: 1,
             },
         );
         m.record(
@@ -355,12 +361,17 @@ mod tests {
             GoCastEvent::Delivered {
                 id: id(1),
                 via: DeliveryPath::Pull,
+                from: NodeId::new(1),
+                hop: 2,
             },
         );
         m.record(
             SimTime::from_millis(160),
             NodeId::new(2),
-            GoCastEvent::RedundantData { id: id(1) },
+            GoCastEvent::RedundantData {
+                id: id(1),
+                from: NodeId::new(0),
+            },
         );
         assert_eq!(m.injected(), 1);
         assert_eq!(m.delivered(), 2);
@@ -390,6 +401,8 @@ mod tests {
                 GoCastEvent::Delivered {
                     id: id(seq),
                     via: DeliveryPath::Tree,
+                    from: NodeId::new(0),
+                    hop: 1,
                 },
             );
         }
@@ -399,6 +412,8 @@ mod tests {
             GoCastEvent::Delivered {
                 id: id(0),
                 via: DeliveryPath::Tree,
+                from: NodeId::new(0),
+                hop: 1,
             },
         );
         let nodes = [NodeId::new(1), NodeId::new(2)];
@@ -449,6 +464,8 @@ mod tests {
                 GoCastEvent::Delivered {
                     id: id(0),
                     via: DeliveryPath::Tree,
+                    from: NodeId::new(0),
+                    hop: 1,
                 },
             ),
             (
@@ -457,6 +474,8 @@ mod tests {
                 GoCastEvent::Delivered {
                     id: id(0),
                     via: DeliveryPath::Pull,
+                    from: NodeId::new(1),
+                    hop: 2,
                 },
             ),
         ];

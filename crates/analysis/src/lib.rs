@@ -18,7 +18,11 @@
 //!   [`component_sizes`], [`mean_path_length`]) for the resilience and
 //!   scalability results (Figure 6, §3 summaries);
 //! - [`Table`] — aligned terminal tables plus CSV output for every
-//!   experiment.
+//!   experiment;
+//! - the [`mod@trace`] module — JSONL causal-trace parsing
+//!   ([`scan_trace`]), per-message dissemination-tree reconstruction
+//!   ([`TraceAnalysis`]), and the online [`InvariantOracle`] protocol
+//!   checker.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -28,6 +32,7 @@ mod graph;
 mod stats;
 mod table;
 mod timeseries;
+pub mod trace;
 
 pub use delivery::{DeliveryTracker, LinkChurnSelect, MetricsRecorder};
 pub use graph::{
@@ -36,3 +41,7 @@ pub use graph::{
 pub use stats::{Cdf, DelayHistogram, Histogram, Summary};
 pub use table::{fmt_ms, fmt_secs, Table};
 pub use timeseries::TimeSeriesRecorder;
+pub use trace::{
+    parse_line, scan_trace, InvariantOracle, OracleConfig, TraceAnalysis, TraceError, TraceRecord,
+    TraceReport, Violation, ViolationKind,
+};

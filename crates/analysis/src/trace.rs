@@ -1,0 +1,1426 @@
+//! Causal trace analysis: JSONL parsing, per-message dissemination-tree
+//! reconstruction, and the online invariant oracle.
+//!
+//! The input is the event stream a [`gocast_sim::TraceRecorder`] writes —
+//! one flat JSON object per line, schema defined by `GoCastEvent`'s
+//! `TraceEvent` impl in `gocast-core`. This module turns that stream back
+//! into structure:
+//!
+//! - [`parse_line`] / [`scan_trace`] — a dependency-free parser for the
+//!   flat JSONL schema (the vendored serde is a stub, so this is the real
+//!   decoder);
+//! - [`TraceAnalysis`] — reconstructs every message's dissemination tree
+//!   from the `from`/`hop` causal metadata on deliveries, and computes
+//!   hop-count histograms, a per-hop latency breakdown, and the
+//!   tree-vs-pull recovery fraction (the paper's core dependability
+//!   claim);
+//! - [`InvariantOracle`] — checks protocol invariants either online (it
+//!   is a [`Recorder`] over `GoCastEvent`) or offline over parsed
+//!   records, collecting [`Violation`]s instead of panicking so tests and
+//!   the `trace` experiment subcommand can fail loudly with context.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::io::BufRead;
+
+use gocast::{DeliveryPath, DropReason, GoCastConfig, GoCastEvent, LinkKind};
+use gocast_sim::{NodeId, Recorder, SimTime};
+
+// ---------------------------------------------------------------------
+// Records.
+// ---------------------------------------------------------------------
+
+/// One parsed trace line: when, where, what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time in microseconds.
+    pub t_us: u64,
+    /// The node that emitted the event.
+    pub node: u32,
+    /// The event itself.
+    pub ev: TraceEv,
+}
+
+/// A decoded trace event (the JSONL mirror of `GoCastEvent`, with ids
+/// flattened to `(origin, seq)` pairs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEv {
+    /// `{"ev":"injected",...}` — a node originated a message.
+    Injected {
+        /// Message origin node.
+        origin: u32,
+        /// Origin-local sequence number.
+        seq: u32,
+    },
+    /// `{"ev":"delivered",...}` — first reception of a message.
+    Delivered {
+        /// Message origin node.
+        origin: u32,
+        /// Origin-local sequence number.
+        seq: u32,
+        /// The causal parent: the neighbor the payload came from.
+        from: u32,
+        /// Causal hop count from the origin (0 = unknown).
+        hop: u32,
+        /// Tree push or pull recovery.
+        via: DeliveryPath,
+    },
+    /// `{"ev":"redundant_data",...}` — a duplicate full payload arrived.
+    RedundantData {
+        /// Message origin node.
+        origin: u32,
+        /// Origin-local sequence number.
+        seq: u32,
+        /// Sender of the duplicate.
+        from: u32,
+    },
+    /// `{"ev":"push_sent",...}` — a payload was pushed along a tree link.
+    PushSent {
+        /// Message origin node.
+        origin: u32,
+        /// Origin-local sequence number.
+        seq: u32,
+        /// Push target.
+        to: u32,
+        /// Hop count stamped on the outgoing copy.
+        hop: u32,
+    },
+    /// `{"ev":"ihave_sent",...}` — a message id was gossiped.
+    IHaveSent {
+        /// Message origin node.
+        origin: u32,
+        /// Origin-local sequence number.
+        seq: u32,
+        /// Gossip target.
+        to: u32,
+    },
+    /// `{"ev":"pull_requested",...}` — a missing payload was requested.
+    PullRequested {
+        /// Message origin node.
+        origin: u32,
+        /// Origin-local sequence number.
+        seq: u32,
+        /// The neighbor asked.
+        to: u32,
+    },
+    /// `{"ev":"pull_served",...}` — a pull was answered with the payload.
+    PullServed {
+        /// Message origin node.
+        origin: u32,
+        /// Origin-local sequence number.
+        seq: u32,
+        /// The requester.
+        to: u32,
+        /// Hop count stamped on the outgoing copy.
+        hop: u32,
+    },
+    /// `{"ev":"link_added",...}` — an overlay link came up.
+    LinkAdded {
+        /// The new neighbor.
+        peer: u32,
+        /// Random or nearby.
+        kind: LinkKind,
+    },
+    /// `{"ev":"link_dropped",...}` — an overlay link went down.
+    LinkDropped {
+        /// The former neighbor.
+        peer: u32,
+        /// Random or nearby.
+        kind: LinkKind,
+        /// Why.
+        reason: DropReason,
+    },
+    /// `{"ev":"parent_changed",...}` — the node picked a new tree parent.
+    ParentChanged {
+        /// The new parent (`None` = root or detached).
+        parent: Option<u32>,
+    },
+    /// `{"ev":"became_root",...}` — the node started acting as root.
+    BecameRoot {
+        /// Root epoch.
+        epoch: u32,
+    },
+}
+
+impl TraceRecord {
+    /// Builds the record a live `GoCastEvent` would parse back to — the
+    /// bridge that lets the [`InvariantOracle`] run online as a recorder.
+    pub fn from_event(now: SimTime, node: NodeId, ev: &GoCastEvent) -> TraceRecord {
+        let t_us = now.as_nanos() / 1_000;
+        let node = node.as_u32();
+        let ev = match *ev {
+            GoCastEvent::Injected { id } => TraceEv::Injected {
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+            },
+            GoCastEvent::Delivered { id, via, from, hop } => TraceEv::Delivered {
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+                from: from.as_u32(),
+                hop,
+                via,
+            },
+            GoCastEvent::RedundantData { id, from } => TraceEv::RedundantData {
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+                from: from.as_u32(),
+            },
+            GoCastEvent::PushSent { id, to, hop } => TraceEv::PushSent {
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+                to: to.as_u32(),
+                hop,
+            },
+            GoCastEvent::IHaveSent { id, to } => TraceEv::IHaveSent {
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+                to: to.as_u32(),
+            },
+            GoCastEvent::PullRequested { id, to } => TraceEv::PullRequested {
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+                to: to.as_u32(),
+            },
+            GoCastEvent::PullServed { id, to, hop } => TraceEv::PullServed {
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+                to: to.as_u32(),
+                hop,
+            },
+            GoCastEvent::LinkAdded { peer, kind } => TraceEv::LinkAdded {
+                peer: peer.as_u32(),
+                kind,
+            },
+            GoCastEvent::LinkDropped { peer, kind, reason } => TraceEv::LinkDropped {
+                peer: peer.as_u32(),
+                kind,
+                reason,
+            },
+            GoCastEvent::ParentChanged { parent } => TraceEv::ParentChanged {
+                parent: parent.map(|p| p.as_u32()),
+            },
+            GoCastEvent::BecameRoot { epoch } => TraceEv::BecameRoot { epoch },
+        };
+        TraceRecord { t_us, node, ev }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+/// A malformed trace line or an IO failure while scanning a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Reading the underlying stream failed.
+    Io(std::io::Error),
+    /// A line did not match the schema.
+    Parse {
+        /// 1-based line number (0 when parsing a bare line).
+        line: u64,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace read error: {e}"),
+            TraceError::Parse { line, msg } => write!(f, "trace line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val<'a> {
+    Num(u64),
+    Str(&'a str),
+    Null,
+}
+
+/// Tokenizes one flat JSON object (string values without escapes,
+/// non-negative integers, null) into key/value pairs.
+fn parse_object(line: &str) -> Result<Vec<(&str, Val<'_>)>, String> {
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let quoted = |i: &mut usize| -> Result<&str, String> {
+        if *i >= b.len() || b[*i] != b'"' {
+            return Err(format!("expected '\"' at byte {i}", i = *i));
+        }
+        *i += 1;
+        let start = *i;
+        while *i < b.len() && b[*i] != b'"' {
+            if b[*i] == b'\\' {
+                return Err("escapes are not part of the trace schema".into());
+            }
+            *i += 1;
+        }
+        if *i >= b.len() {
+            return Err("unterminated string".into());
+        }
+        let s = &line[start..*i];
+        *i += 1;
+        Ok(s)
+    };
+
+    skip_ws(&mut i);
+    if i >= b.len() || b[i] != b'{' {
+        return Err("expected '{'".into());
+    }
+    i += 1;
+    let mut out = Vec::with_capacity(8);
+    skip_ws(&mut i);
+    if i < b.len() && b[i] == b'}' {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(&mut i);
+            let key = quoted(&mut i)?;
+            skip_ws(&mut i);
+            if i >= b.len() || b[i] != b':' {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            i += 1;
+            skip_ws(&mut i);
+            let val = if i < b.len() && b[i] == b'"' {
+                Val::Str(quoted(&mut i)?)
+            } else if line[i..].starts_with("null") {
+                i += 4;
+                Val::Null
+            } else {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(format!("expected a value for key {key:?}"));
+                }
+                let n: u64 = line[start..i]
+                    .parse()
+                    .map_err(|e| format!("bad number for key {key:?}: {e}"))?;
+                Val::Num(n)
+            };
+            out.push((key, val));
+            skip_ws(&mut i);
+            match b.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err("expected ',' or '}'".into()),
+            }
+        }
+    }
+    skip_ws(&mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes after object: {:?}", &line[i..]));
+    }
+    Ok(out)
+}
+
+fn field<'a>(fields: &[(&str, Val<'a>)], key: &str) -> Result<Val<'a>, String> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num_u64(fields: &[(&str, Val<'_>)], key: &str) -> Result<u64, String> {
+    match field(fields, key)? {
+        Val::Num(n) => Ok(n),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+fn num(fields: &[(&str, Val<'_>)], key: &str) -> Result<u32, String> {
+    u32::try_from(num_u64(fields, key)?).map_err(|_| format!("field {key:?} exceeds u32"))
+}
+
+fn string<'a>(fields: &[(&str, Val<'a>)], key: &str) -> Result<&'a str, String> {
+    match field(fields, key)? {
+        Val::Str(s) => Ok(s),
+        other => Err(format!("field {key:?} is not a string: {other:?}")),
+    }
+}
+
+/// Parses one JSONL trace line.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] (with `line = 0`) when the line does not
+/// match the schema; use [`scan_trace`] for numbered errors over a file.
+pub fn parse_line(line: &str) -> Result<TraceRecord, TraceError> {
+    parse_line_inner(line).map_err(|msg| TraceError::Parse { line: 0, msg })
+}
+
+fn parse_line_inner(line: &str) -> Result<TraceRecord, String> {
+    let fields = parse_object(line)?;
+    let t_us = num_u64(&fields, "t_us")?;
+    let node = num(&fields, "node")?;
+    let ev_name = string(&fields, "ev")?;
+    let msg = |fields: &[(&str, Val<'_>)]| -> Result<(u32, u32), String> {
+        Ok((num(fields, "origin")?, num(fields, "seq")?))
+    };
+    let ev = match ev_name {
+        "injected" => {
+            let (origin, seq) = msg(&fields)?;
+            TraceEv::Injected { origin, seq }
+        }
+        "delivered" => {
+            let (origin, seq) = msg(&fields)?;
+            let via = string(&fields, "via")?;
+            TraceEv::Delivered {
+                origin,
+                seq,
+                from: num(&fields, "from")?,
+                hop: num(&fields, "hop")?,
+                via: DeliveryPath::parse(via).ok_or_else(|| format!("unknown via {via:?}"))?,
+            }
+        }
+        "redundant_data" => {
+            let (origin, seq) = msg(&fields)?;
+            TraceEv::RedundantData {
+                origin,
+                seq,
+                from: num(&fields, "from")?,
+            }
+        }
+        "push_sent" => {
+            let (origin, seq) = msg(&fields)?;
+            TraceEv::PushSent {
+                origin,
+                seq,
+                to: num(&fields, "to")?,
+                hop: num(&fields, "hop")?,
+            }
+        }
+        "ihave_sent" => {
+            let (origin, seq) = msg(&fields)?;
+            TraceEv::IHaveSent {
+                origin,
+                seq,
+                to: num(&fields, "to")?,
+            }
+        }
+        "pull_requested" => {
+            let (origin, seq) = msg(&fields)?;
+            TraceEv::PullRequested {
+                origin,
+                seq,
+                to: num(&fields, "to")?,
+            }
+        }
+        "pull_served" => {
+            let (origin, seq) = msg(&fields)?;
+            TraceEv::PullServed {
+                origin,
+                seq,
+                to: num(&fields, "to")?,
+                hop: num(&fields, "hop")?,
+            }
+        }
+        "link_added" => {
+            let kind = string(&fields, "kind")?;
+            TraceEv::LinkAdded {
+                peer: num(&fields, "peer")?,
+                kind: LinkKind::parse(kind).ok_or_else(|| format!("unknown kind {kind:?}"))?,
+            }
+        }
+        "link_dropped" => {
+            let kind = string(&fields, "kind")?;
+            let reason = string(&fields, "reason")?;
+            TraceEv::LinkDropped {
+                peer: num(&fields, "peer")?,
+                kind: LinkKind::parse(kind).ok_or_else(|| format!("unknown kind {kind:?}"))?,
+                reason: DropReason::parse(reason)
+                    .ok_or_else(|| format!("unknown reason {reason:?}"))?,
+            }
+        }
+        "parent_changed" => TraceEv::ParentChanged {
+            parent: match field(&fields, "parent")? {
+                Val::Null => None,
+                Val::Num(n) => {
+                    Some(u32::try_from(n).map_err(|_| "parent exceeds u32".to_string())?)
+                }
+                other => return Err(format!("field \"parent\" is not a number: {other:?}")),
+            },
+        },
+        "became_root" => TraceEv::BecameRoot {
+            epoch: num(&fields, "epoch")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(TraceRecord { t_us, node, ev })
+}
+
+/// Streams a JSONL trace from `reader`, invoking `f` per record.
+///
+/// Empty lines are skipped. O(1) memory in the trace length.
+///
+/// # Errors
+///
+/// Returns the first IO or parse error ([`TraceError::Parse`] carries the
+/// 1-based line number).
+pub fn scan_trace<R: BufRead>(
+    reader: R,
+    mut f: impl FnMut(TraceRecord),
+) -> Result<u64, TraceError> {
+    let mut count = 0u64;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = parse_line_inner(&line).map_err(|msg| TraceError::Parse {
+            line: idx as u64 + 1,
+            msg,
+        })?;
+        count += 1;
+        f(rec);
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------
+// Dissemination-tree reconstruction.
+// ---------------------------------------------------------------------
+
+/// One delivery inside a message's dissemination tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// When the node delivered, µs.
+    pub t_us: u64,
+    /// Causal parent (who sent the payload).
+    pub from: u32,
+    /// Causal hop count from the origin.
+    pub hop: u32,
+    /// Tree push or pull recovery.
+    pub via: DeliveryPath,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MsgTrace {
+    injected_at: Option<u64>,
+    origin: u32,
+    /// node -> first delivery (later duplicates are the oracle's problem).
+    deliveries: BTreeMap<u32, Delivery>,
+}
+
+/// Streaming reconstruction of per-message dissemination trees.
+///
+/// Feed parsed records (or use it as the target of [`scan_trace`]), then
+/// call [`TraceAnalysis::report`]. Memory is O(messages × receivers) — the
+/// trees themselves — and independent of gossip/push/pull event volume.
+#[derive(Debug, Default)]
+pub struct TraceAnalysis {
+    msgs: BTreeMap<(u32, u32), MsgTrace>,
+    records: u64,
+}
+
+impl TraceAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record in.
+    pub fn feed(&mut self, rec: &TraceRecord) {
+        self.records += 1;
+        match rec.ev {
+            TraceEv::Injected { origin, seq } => {
+                let m = self.msgs.entry((origin, seq)).or_default();
+                m.origin = origin;
+                m.injected_at = Some(match m.injected_at {
+                    Some(t) => t.min(rec.t_us),
+                    None => rec.t_us,
+                });
+            }
+            TraceEv::Delivered {
+                origin,
+                seq,
+                from,
+                hop,
+                via,
+            } => {
+                let m = self.msgs.entry((origin, seq)).or_default();
+                m.origin = origin;
+                m.deliveries.entry(rec.node).or_insert(Delivery {
+                    t_us: rec.t_us,
+                    from,
+                    hop,
+                    via,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Messages seen so far.
+    pub fn message_count(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Computes the report over everything fed so far.
+    pub fn report(&self) -> TraceReport {
+        let mut r = TraceReport {
+            messages: self.msgs.len(),
+            records: self.records,
+            ..TraceReport::default()
+        };
+        let mut hop_lat_sum_us: Vec<u64> = Vec::new();
+        let mut hop_lat_n: Vec<u64> = Vec::new();
+        for m in self.msgs.values() {
+            let mut ok = m.injected_at.is_some();
+            for (&node, d) in &m.deliveries {
+                r.deliveries += 1;
+                match d.via {
+                    DeliveryPath::Pull => r.pull_deliveries += 1,
+                    _ => r.tree_deliveries += 1,
+                }
+                let hop = d.hop as usize;
+                if r.hop_histogram.len() <= hop {
+                    r.hop_histogram.resize(hop + 1, 0);
+                }
+                r.hop_histogram[hop] += 1;
+
+                // Validate the causal edge and collect the per-hop latency
+                // (delivery time minus the parent's delivery time; hop 1
+                // measures against the injection).
+                let parent_t = if d.hop <= 1 {
+                    if d.from == m.origin {
+                        m.injected_at
+                    } else {
+                        None
+                    }
+                } else {
+                    m.deliveries
+                        .get(&d.from)
+                        .filter(|p| p.hop + 1 == d.hop)
+                        .map(|p| p.t_us)
+                };
+                match parent_t {
+                    Some(t0) if t0 <= d.t_us && d.hop >= 1 => {
+                        let hop = d.hop as usize;
+                        if hop_lat_sum_us.len() <= hop {
+                            hop_lat_sum_us.resize(hop + 1, 0);
+                            hop_lat_n.resize(hop + 1, 0);
+                        }
+                        hop_lat_sum_us[hop] += d.t_us - t0;
+                        hop_lat_n[hop] += 1;
+                    }
+                    _ => {
+                        ok = false;
+                        let _ = node;
+                    }
+                }
+            }
+            if ok {
+                r.trees_reconstructed += 1;
+            }
+        }
+        r.per_hop_latency = hop_lat_sum_us
+            .iter()
+            .zip(hop_lat_n.iter())
+            .enumerate()
+            .filter(|&(_, (_, &n))| n > 0)
+            .map(|(hop, (&sum, &n))| PerHopLatency {
+                hop: hop as u32,
+                mean_ms: sum as f64 / n as f64 / 1_000.0,
+                samples: n,
+            })
+            .collect();
+        r
+    }
+}
+
+/// Mean link latency at one causal depth of the dissemination trees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerHopLatency {
+    /// Causal hop (1 = the origin's own sends).
+    pub hop: u32,
+    /// Mean time spent crossing into this hop, milliseconds.
+    pub mean_ms: f64,
+    /// Number of deliveries at this hop that had a valid causal parent.
+    pub samples: u64,
+}
+
+/// What [`TraceAnalysis::report`] computed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Distinct messages in the trace.
+    pub messages: usize,
+    /// Total records fed.
+    pub records: u64,
+    /// Total first deliveries.
+    pub deliveries: u64,
+    /// Deliveries via tree push.
+    pub tree_deliveries: u64,
+    /// Deliveries via gossip-triggered pull recovery.
+    pub pull_deliveries: u64,
+    /// Messages whose every delivery chains back to the injection through
+    /// valid `(from, hop)` causal edges.
+    pub trees_reconstructed: usize,
+    /// Delivery count by causal hop (index = hop).
+    pub hop_histogram: Vec<u64>,
+    /// Per-hop latency breakdown.
+    pub per_hop_latency: Vec<PerHopLatency>,
+}
+
+impl TraceReport {
+    /// Fraction of deliveries that needed gossip/pull recovery rather than
+    /// the tree push — the paper's tree-vs-gossip recovery split.
+    pub fn recovery_fraction(&self) -> f64 {
+        if self.deliveries == 0 {
+            0.0
+        } else {
+            self.pull_deliveries as f64 / self.deliveries as f64
+        }
+    }
+
+    /// Whether every message's dissemination tree reconstructed fully.
+    pub fn all_trees_reconstructed(&self) -> bool {
+        self.trees_reconstructed == self.messages
+    }
+
+    /// Mean causal hop count over all deliveries.
+    pub fn mean_hops(&self) -> f64 {
+        let total: u64 = self.hop_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .hop_histogram
+            .iter()
+            .enumerate()
+            .map(|(hop, &n)| hop as u64 * n)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Largest causal hop observed.
+    pub fn max_hop(&self) -> u32 {
+        (self.hop_histogram.len().saturating_sub(1)) as u32
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invariant oracle.
+// ---------------------------------------------------------------------
+
+/// Which invariant a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A node delivered a message before (or without) the origin's
+    /// injection appearing in the trace.
+    DeliveryBeforeSend,
+    /// A node delivered the same message twice.
+    DuplicateDelivery,
+    /// A link addition pushed a degree past its bound.
+    DegreeBound,
+    /// A node pulled a message it already held.
+    PullAfterDelivery,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ViolationKind::DeliveryBeforeSend => "delivery_before_send",
+            ViolationKind::DuplicateDelivery => "duplicate_delivery",
+            ViolationKind::DegreeBound => "degree_bound",
+            ViolationKind::PullAfterDelivery => "pull_after_delivery",
+        })
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// When, µs.
+    pub t_us: u64,
+    /// The offending node.
+    pub node: u32,
+    /// The invariant broken.
+    pub kind: ViolationKind,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[t={}µs n{}] {}: {}",
+            self.t_us, self.node, self.kind, self.detail
+        )
+    }
+}
+
+/// Bounds and grace settings for the [`InvariantOracle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// Maximum random degree after any link addition
+    /// (`C_rand + degree_slack`).
+    pub max_rand: usize,
+    /// Maximum nearby degree after any link addition
+    /// (`C_near + degree_slack`).
+    pub max_near: usize,
+    /// Ignore degree-bound checks at or before this time (µs). The
+    /// bootstrap graph installs links of arbitrary degree at t=0; the
+    /// degree rules only bound *protocol* additions.
+    pub degree_check_after_us: u64,
+}
+
+impl OracleConfig {
+    /// Derives the bounds from a protocol configuration.
+    pub fn for_protocol(cfg: &GoCastConfig) -> Self {
+        OracleConfig {
+            max_rand: cfg.c_rand + cfg.degree_slack,
+            max_near: cfg.c_near + cfg.degree_slack,
+            degree_check_after_us: 1,
+        }
+    }
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self::for_protocol(&GoCastConfig::default())
+    }
+}
+
+/// Checks protocol invariants over a trace, online or offline.
+///
+/// Invariants (from the paper's protocol description):
+///
+/// 1. **No delivery before origin send** — every delivery's message was
+///    injected earlier in the trace.
+/// 2. **At most one delivery per node per message** (assumes the trace is
+///    shorter than the GC waiting period `b`, so the store never forgets a
+///    live message).
+/// 3. **Degree bounds at every completed overlay change** — after any
+///    protocol link addition, `D_rand ≤ C_rand + slack` and
+///    `D_near ≤ C_near + slack` (the accept rules' ceiling; bootstrap
+///    edges at t=0 are exempt). Make-before-break replacements add the
+///    new link before dropping the victim *within one handler*, so an
+///    overshoot is tolerated exactly until the node's clock advances: if
+///    a matching drop at the same instant restores the bound, nothing is
+///    flagged; otherwise the addition is reported. Call
+///    [`InvariantOracle::finish`] after the last record so an overshoot
+///    at the very end of the trace is not silently forgiven.
+/// 4. **No pull for a message already held** (delivered or self-injected).
+///
+/// Violations are collected, not panicked — callers assert
+/// [`InvariantOracle::is_clean`] (tests) or print and exit nonzero (the
+/// `trace` subcommand).
+///
+/// It implements [`Recorder`] over `GoCastEvent`, so a simulation can run
+/// with the oracle attached and zero extra plumbing.
+#[derive(Debug, Default)]
+pub struct InvariantOracle {
+    cfg: OracleConfig,
+    injected: HashMap<(u32, u32), u64>,
+    delivered: HashSet<(u32, u32, u32)>,
+    /// (node, origin, seq) for anything the node holds (delivery or own
+    /// injection) — the pull-after-delivery check.
+    held: HashSet<(u32, u32, u32)>,
+    /// node -> [d_rand, d_near] reconstructed from link events.
+    degrees: HashMap<u32, [u32; 2]>,
+    /// (node, kind index) -> violation pending from a degree overshoot,
+    /// forgiven only if a drop at the same instant restores the bound.
+    overshoots: BTreeMap<(u32, u8), Violation>,
+    violations: Vec<Violation>,
+    records: u64,
+}
+
+impl InvariantOracle {
+    /// Creates an oracle with explicit bounds.
+    pub fn new(cfg: OracleConfig) -> Self {
+        InvariantOracle {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    /// Creates an oracle whose degree bounds match `cfg`.
+    pub fn for_protocol(cfg: &GoCastConfig) -> Self {
+        Self::new(OracleConfig::for_protocol(cfg))
+    }
+
+    /// The violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Records checked.
+    pub fn records_checked(&self) -> u64 {
+        self.records
+    }
+
+    fn violate(&mut self, rec: &TraceRecord, kind: ViolationKind, detail: String) {
+        self.violations.push(Violation {
+            t_us: rec.t_us,
+            node: rec.node,
+            kind,
+            detail,
+        });
+    }
+
+    /// Promotes pending degree overshoots that the trace's clock has moved
+    /// past: no same-instant drop can arrive for them any more.
+    fn flush_overshoots(&mut self, now_us: u64) {
+        while let Some((&key, v)) = self.overshoots.iter().find(|(_, v)| v.t_us < now_us) {
+            let v = v.clone();
+            self.overshoots.remove(&key);
+            self.violations.push(v);
+        }
+    }
+
+    /// Declares the trace over: any still-pending degree overshoot becomes
+    /// a violation. Call after the last record, before reading
+    /// [`InvariantOracle::violations`] / [`InvariantOracle::is_clean`].
+    pub fn finish(&mut self) {
+        self.flush_overshoots(u64::MAX);
+    }
+
+    /// Checks one record.
+    pub fn check(&mut self, rec: &TraceRecord) {
+        self.records += 1;
+        self.flush_overshoots(rec.t_us);
+        match rec.ev {
+            TraceEv::Injected { origin, seq } => {
+                let t = self.injected.entry((origin, seq)).or_insert(rec.t_us);
+                *t = (*t).min(rec.t_us);
+                self.held.insert((rec.node, origin, seq));
+            }
+            TraceEv::Delivered { origin, seq, .. } => {
+                match self.injected.get(&(origin, seq)) {
+                    None => self.violate(
+                        rec,
+                        ViolationKind::DeliveryBeforeSend,
+                        format!("delivered n{origin}#{seq} with no prior injection in the trace"),
+                    ),
+                    Some(&t0) if rec.t_us < t0 => self.violate(
+                        rec,
+                        ViolationKind::DeliveryBeforeSend,
+                        format!(
+                            "delivered n{origin}#{seq} at {}µs, injected at {t0}µs",
+                            rec.t_us
+                        ),
+                    ),
+                    _ => {}
+                }
+                if !self.delivered.insert((rec.node, origin, seq)) {
+                    self.violate(
+                        rec,
+                        ViolationKind::DuplicateDelivery,
+                        format!("second delivery of n{origin}#{seq}"),
+                    );
+                }
+                self.held.insert((rec.node, origin, seq));
+            }
+            TraceEv::PullRequested { origin, seq, to }
+                if self.held.contains(&(rec.node, origin, seq)) =>
+            {
+                self.violate(
+                    rec,
+                    ViolationKind::PullAfterDelivery,
+                    format!("pulled n{origin}#{seq} from n{to} but already holds it"),
+                );
+            }
+            TraceEv::LinkAdded { peer, kind } => {
+                let d = self.degrees.entry(rec.node).or_insert([0, 0]);
+                let idx = match kind {
+                    LinkKind::Random => 0,
+                    LinkKind::Nearby => 1,
+                };
+                d[idx] += 1;
+                let bound = match kind {
+                    LinkKind::Random => self.cfg.max_rand,
+                    LinkKind::Nearby => self.cfg.max_near,
+                } as u32;
+                if rec.t_us > self.cfg.degree_check_after_us && d[idx] > bound {
+                    // Pend, don't flag: a make-before-break replacement
+                    // drops the victim at this same instant.
+                    let count = d[idx];
+                    self.overshoots
+                        .entry((rec.node, idx as u8))
+                        .or_insert(Violation {
+                            t_us: rec.t_us,
+                            node: rec.node,
+                            kind: ViolationKind::DegreeBound,
+                            detail: format!(
+                                "{kind} link to n{peer} raises degree to {count} > bound {bound} \
+                                 with no same-instant drop restoring it"
+                            ),
+                        });
+                }
+            }
+            TraceEv::LinkDropped { kind, .. } => {
+                let d = self.degrees.entry(rec.node).or_insert([0, 0]);
+                let idx = match kind {
+                    LinkKind::Random => 0,
+                    LinkKind::Nearby => 1,
+                };
+                d[idx] = d[idx].saturating_sub(1);
+                let bound = match kind {
+                    LinkKind::Random => self.cfg.max_rand,
+                    LinkKind::Nearby => self.cfg.max_near,
+                } as u32;
+                if d[idx] <= bound {
+                    self.overshoots.remove(&(rec.node, idx as u8));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Recorder<GoCastEvent> for InvariantOracle {
+    fn record(&mut self, now: SimTime, node: NodeId, event: GoCastEvent) {
+        let rec = TraceRecord::from_event(now, node, &event);
+        self.check(&rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocast::MsgId;
+
+    fn rec(t_us: u64, node: u32, ev: TraceEv) -> TraceRecord {
+        TraceRecord { t_us, node, ev }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_trace_recorder() {
+        use gocast_sim::TraceRecorder;
+        let events = vec![
+            (
+                SimTime::from_millis(1),
+                NodeId::new(0),
+                GoCastEvent::Injected {
+                    id: MsgId::new(NodeId::new(0), 7),
+                },
+            ),
+            (
+                SimTime::from_millis(12),
+                NodeId::new(3),
+                GoCastEvent::Delivered {
+                    id: MsgId::new(NodeId::new(0), 7),
+                    via: DeliveryPath::Tree,
+                    from: NodeId::new(0),
+                    hop: 1,
+                },
+            ),
+            (
+                SimTime::from_millis(13),
+                NodeId::new(3),
+                GoCastEvent::PushSent {
+                    id: MsgId::new(NodeId::new(0), 7),
+                    to: NodeId::new(9),
+                    hop: 2,
+                },
+            ),
+            (
+                SimTime::from_millis(14),
+                NodeId::new(3),
+                GoCastEvent::IHaveSent {
+                    id: MsgId::new(NodeId::new(0), 7),
+                    to: NodeId::new(4),
+                },
+            ),
+            (
+                SimTime::from_millis(15),
+                NodeId::new(4),
+                GoCastEvent::PullRequested {
+                    id: MsgId::new(NodeId::new(0), 7),
+                    to: NodeId::new(3),
+                },
+            ),
+            (
+                SimTime::from_millis(16),
+                NodeId::new(3),
+                GoCastEvent::PullServed {
+                    id: MsgId::new(NodeId::new(0), 7),
+                    to: NodeId::new(4),
+                    hop: 2,
+                },
+            ),
+            (
+                SimTime::from_millis(17),
+                NodeId::new(4),
+                GoCastEvent::RedundantData {
+                    id: MsgId::new(NodeId::new(0), 7),
+                    from: NodeId::new(8),
+                },
+            ),
+            (
+                SimTime::from_millis(18),
+                NodeId::new(5),
+                GoCastEvent::LinkAdded {
+                    peer: NodeId::new(6),
+                    kind: LinkKind::Random,
+                },
+            ),
+            (
+                SimTime::from_millis(19),
+                NodeId::new(5),
+                GoCastEvent::LinkDropped {
+                    peer: NodeId::new(6),
+                    kind: LinkKind::Nearby,
+                    reason: DropReason::Rebalanced,
+                },
+            ),
+            (
+                SimTime::from_millis(20),
+                NodeId::new(5),
+                GoCastEvent::ParentChanged {
+                    parent: Some(NodeId::new(1)),
+                },
+            ),
+            (
+                SimTime::from_millis(21),
+                NodeId::new(5),
+                GoCastEvent::ParentChanged { parent: None },
+            ),
+            (
+                SimTime::from_millis(22),
+                NodeId::new(5),
+                GoCastEvent::BecameRoot { epoch: 3 },
+            ),
+        ];
+        let mut w = TraceRecorder::new(Vec::new());
+        for (t, n, ev) in &events {
+            w.record(*t, *n, ev.clone());
+        }
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        let mut parsed = Vec::new();
+        scan_trace(text.as_bytes(), |r| parsed.push(r)).unwrap();
+        let expected: Vec<TraceRecord> = events
+            .iter()
+            .map(|(t, n, ev)| TraceRecord::from_event(*t, *n, ev))
+            .collect();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"t_us\":1}").is_err()); // missing node/ev
+        assert!(parse_line("{\"t_us\":1,\"node\":0,\"ev\":\"nope\"}").is_err());
+        assert!(parse_line(
+            "{\"t_us\":1,\"node\":0,\"ev\":\"delivered\",\"origin\":0,\"seq\":0,\
+             \"from\":0,\"hop\":1,\"via\":\"teleport\"}"
+        )
+        .is_err());
+        // Trailing garbage after the object.
+        assert!(parse_line("{\"t_us\":1,\"node\":0,\"ev\":\"became_root\",\"epoch\":0}x").is_err());
+    }
+
+    #[test]
+    fn reconstructs_a_simple_tree() {
+        let mut a = TraceAnalysis::new();
+        let m = (0u32, 0u32);
+        a.feed(&rec(
+            1_000,
+            0,
+            TraceEv::Injected {
+                origin: m.0,
+                seq: m.1,
+            },
+        ));
+        a.feed(&rec(
+            11_000,
+            1,
+            TraceEv::Delivered {
+                origin: m.0,
+                seq: m.1,
+                from: 0,
+                hop: 1,
+                via: DeliveryPath::Tree,
+            },
+        ));
+        a.feed(&rec(
+            26_000,
+            2,
+            TraceEv::Delivered {
+                origin: m.0,
+                seq: m.1,
+                from: 1,
+                hop: 2,
+                via: DeliveryPath::Tree,
+            },
+        ));
+        a.feed(&rec(
+            500_000,
+            3,
+            TraceEv::Delivered {
+                origin: m.0,
+                seq: m.1,
+                from: 1,
+                hop: 2,
+                via: DeliveryPath::Pull,
+            },
+        ));
+        let r = a.report();
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.deliveries, 3);
+        assert_eq!(r.tree_deliveries, 2);
+        assert_eq!(r.pull_deliveries, 1);
+        assert!(r.all_trees_reconstructed());
+        assert_eq!(r.hop_histogram, vec![0, 1, 2]);
+        assert!((r.recovery_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.mean_hops() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_hop(), 2);
+        // hop 1: 10ms; hop 2: (15ms + 489s... no: 26-11=15ms, 500-11=489ms)
+        let h1 = r.per_hop_latency.iter().find(|p| p.hop == 1).unwrap();
+        assert!((h1.mean_ms - 10.0).abs() < 1e-9);
+        let h2 = r.per_hop_latency.iter().find(|p| p.hop == 2).unwrap();
+        assert_eq!(h2.samples, 2);
+        assert!((h2.mean_ms - (15.0 + 489.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broken_causal_chain_is_not_reconstructed() {
+        let mut a = TraceAnalysis::new();
+        a.feed(&rec(0, 0, TraceEv::Injected { origin: 0, seq: 0 }));
+        // Parent 7 never delivered.
+        a.feed(&rec(
+            10,
+            1,
+            TraceEv::Delivered {
+                origin: 0,
+                seq: 0,
+                from: 7,
+                hop: 2,
+                via: DeliveryPath::Tree,
+            },
+        ));
+        let r = a.report();
+        assert_eq!(r.trees_reconstructed, 0);
+        assert!(!r.all_trees_reconstructed());
+    }
+
+    #[test]
+    fn oracle_accepts_a_clean_sequence() {
+        let mut o = InvariantOracle::new(OracleConfig::default());
+        o.check(&rec(5, 0, TraceEv::Injected { origin: 0, seq: 0 }));
+        o.check(&rec(
+            10,
+            1,
+            TraceEv::Delivered {
+                origin: 0,
+                seq: 0,
+                from: 0,
+                hop: 1,
+                via: DeliveryPath::Tree,
+            },
+        ));
+        o.check(&rec(
+            12,
+            2,
+            TraceEv::PullRequested {
+                origin: 0,
+                seq: 0,
+                to: 1,
+            },
+        ));
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.records_checked(), 3);
+    }
+
+    #[test]
+    fn oracle_flags_duplicate_and_early_delivery_and_bad_pull() {
+        let mut o = InvariantOracle::new(OracleConfig::default());
+        // Delivery before any injection.
+        o.check(&rec(
+            1,
+            1,
+            TraceEv::Delivered {
+                origin: 0,
+                seq: 0,
+                from: 0,
+                hop: 1,
+                via: DeliveryPath::Tree,
+            },
+        ));
+        o.check(&rec(5, 0, TraceEv::Injected { origin: 0, seq: 0 }));
+        // Duplicate delivery.
+        o.check(&rec(
+            9,
+            1,
+            TraceEv::Delivered {
+                origin: 0,
+                seq: 0,
+                from: 0,
+                hop: 1,
+                via: DeliveryPath::Pull,
+            },
+        ));
+        // Pull for a message the node already holds.
+        o.check(&rec(
+            11,
+            1,
+            TraceEv::PullRequested {
+                origin: 0,
+                seq: 0,
+                to: 0,
+            },
+        ));
+        let kinds: Vec<ViolationKind> = o.violations().iter().map(|v| v.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ViolationKind::DeliveryBeforeSend,
+                ViolationKind::DuplicateDelivery,
+                ViolationKind::PullAfterDelivery,
+            ]
+        );
+    }
+
+    #[test]
+    fn oracle_enforces_degree_bounds_after_grace() {
+        let cfg = OracleConfig {
+            max_rand: 1,
+            max_near: 2,
+            degree_check_after_us: 10,
+        };
+        let mut o = InvariantOracle::new(cfg);
+        // Bootstrap links at t=0 may exceed the bound freely.
+        for peer in 0..5 {
+            o.check(&rec(
+                0,
+                1,
+                TraceEv::LinkAdded {
+                    peer,
+                    kind: LinkKind::Nearby,
+                },
+            ));
+        }
+        assert!(o.is_clean());
+        // Drops bring the degree back under the bound.
+        for peer in 0..4 {
+            o.check(&rec(
+                20,
+                1,
+                TraceEv::LinkDropped {
+                    peer,
+                    kind: LinkKind::Nearby,
+                    reason: DropReason::Surplus,
+                },
+            ));
+        }
+        // One more add is fine (2 ≤ 2) ...
+        o.check(&rec(
+            30,
+            1,
+            TraceEv::LinkAdded {
+                peer: 9,
+                kind: LinkKind::Nearby,
+            },
+        ));
+        assert!(o.is_clean(), "{:?}", o.violations());
+        // ... the next breaks the bound; it is only pending until the
+        // clock moves past the instant (or the trace ends) with no
+        // restoring drop.
+        o.check(&rec(
+            31,
+            1,
+            TraceEv::LinkAdded {
+                peer: 10,
+                kind: LinkKind::Nearby,
+            },
+        ));
+        assert!(o.is_clean(), "same-instant drop could still arrive");
+        o.finish();
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, ViolationKind::DegreeBound);
+        assert_eq!(o.violations()[0].t_us, 31);
+    }
+
+    #[test]
+    fn make_before_break_replacement_is_not_a_violation() {
+        let cfg = OracleConfig {
+            max_rand: 1,
+            max_near: 2,
+            degree_check_after_us: 1,
+        };
+        let mut o = InvariantOracle::new(cfg);
+        for peer in 0..2 {
+            o.check(&rec(
+                10,
+                1,
+                TraceEv::LinkAdded {
+                    peer,
+                    kind: LinkKind::Nearby,
+                },
+            ));
+        }
+        // Replacement: the new link lands before the victim is dropped,
+        // both at the same instant — the protocol's on_link_accept path.
+        o.check(&rec(
+            20,
+            1,
+            TraceEv::LinkAdded {
+                peer: 5,
+                kind: LinkKind::Nearby,
+            },
+        ));
+        o.check(&rec(
+            20,
+            1,
+            TraceEv::LinkDropped {
+                peer: 0,
+                kind: LinkKind::Nearby,
+                reason: DropReason::Replaced,
+            },
+        ));
+        // Later activity moves the clock forward; nothing should flush.
+        o.check(&rec(99, 2, TraceEv::Injected { origin: 2, seq: 0 }));
+        o.finish();
+        assert!(o.is_clean(), "{:?}", o.violations());
+        // A drop *after* the instant does not forgive: overshoot at 30,
+        // drop only at 40.
+        o.check(&rec(
+            30,
+            1,
+            TraceEv::LinkAdded {
+                peer: 6,
+                kind: LinkKind::Nearby,
+            },
+        ));
+        o.check(&rec(
+            40,
+            1,
+            TraceEv::LinkDropped {
+                peer: 6,
+                kind: LinkKind::Nearby,
+                reason: DropReason::Surplus,
+            },
+        ));
+        o.finish();
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, ViolationKind::DegreeBound);
+        assert_eq!(o.violations()[0].t_us, 30);
+    }
+}

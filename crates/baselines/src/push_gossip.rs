@@ -251,7 +251,7 @@ impl PushGossipNode {
             return;
         };
         p.requested_from = Some(target);
-        ctx.emit(GoCastEvent::PullRequested { id });
+        ctx.emit(GoCastEvent::PullRequested { id, to: target });
         ctx.send(target, PushGossipMsg::Pull { ids: vec![id] });
         ctx.set_timer(
             self.cfg.pull_timeout,
@@ -319,15 +319,19 @@ impl Protocol for PushGossipNode {
             PushGossipMsg::Data { id, age_us, size } => {
                 if self.store.contains_key(&id) {
                     self.redundant += 1;
-                    ctx.emit(GoCastEvent::RedundantData { id });
+                    ctx.emit(GoCastEvent::RedundantData { id, from });
                     return;
                 }
                 self.pending.remove(&id);
                 self.admit(ctx, id, age_us, size);
                 self.delivered += 1;
+                // The baseline does not carry causal hop counts on its own
+                // wire format; 0 marks the hop as unknown in traces.
                 ctx.emit(GoCastEvent::Delivered {
                     id,
                     via: DeliveryPath::Pull,
+                    from,
+                    hop: 0,
                 });
             }
         }

@@ -10,7 +10,7 @@ use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use gocast::{GoCastConfig, GoCastNode};
 use gocast_analysis::{diameter, largest_component_fraction, Cdf};
 use gocast_net::{king_like, synthetic_king, SyntheticKingConfig};
-use gocast_sim::{EventQueue, LatencyModel, NodeId, SimBuilder, SimTime};
+use gocast_sim::{EventQueue, LatencyModel, NodeId, SimBuilder, SimTime, TraceRecorder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -159,6 +159,37 @@ fn bench_kernel_throughput(c: &mut Criterion) {
             sim.kernel_stats().events_processed
         })
     });
+
+    // The same workload with the JSONL trace sink attached (every event
+    // serialized, bytes discarded into `io::sink()`): measures the causal
+    // tracing overhead relative to the untraced number above.
+    let mut boot = gocast::bootstrap_random_graph(128, 3, 9);
+    let net = synthetic_king(
+        128,
+        &SyntheticKingConfig {
+            sites: 128,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let mut traced =
+        SimBuilder::new(net)
+            .seed(9)
+            .build_with(TraceRecorder::new(std::io::sink()), |id| {
+                let (links, members) = boot(id);
+                GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+            });
+    traced.run_until(SimTime::from_secs(30));
+    let before = traced.kernel_stats().events_processed;
+    traced.run_for(Duration::from_secs(1));
+    let traced_per_sim_sec = traced.kernel_stats().events_processed - before;
+    g.throughput(Throughput::Elements(traced_per_sim_sec));
+    g.bench_function("events_per_steady_second_128_traced", |b| {
+        b.iter(|| {
+            traced.run_for(Duration::from_secs(1));
+            traced.kernel_stats().events_processed
+        })
+    });
     g.finish();
 }
 
@@ -226,15 +257,21 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
-    let kernel_rate = results
-        .iter()
-        .find(|r| r.id == "kernel/events_per_steady_second_128")
-        .and_then(|r| r.rate_per_sec());
-    json.push_str(&format!(
-        "  \"kernel_events_per_sec\": {}\n}}\n",
-        kernel_rate
+    let rate_of = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .and_then(|r| r.rate_per_sec())
             .map(|v| format!("{v:.1}"))
-            .unwrap_or_else(|| "null".into()),
+            .unwrap_or_else(|| "null".into())
+    };
+    json.push_str(&format!(
+        "  \"kernel_events_per_sec\": {},\n",
+        rate_of("kernel/events_per_steady_second_128"),
+    ));
+    json.push_str(&format!(
+        "  \"kernel_events_per_sec_traced\": {}\n}}\n",
+        rate_of("kernel/events_per_steady_second_128_traced"),
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
     match std::fs::write(path, &json) {

@@ -142,24 +142,16 @@ fn link_kind_from(t: u8) -> Result<LinkKind, DecodeError> {
 }
 
 fn drop_reason_tag(r: DropReason) -> u8 {
-    match r {
-        DropReason::Replaced => 0,
-        DropReason::Surplus => 1,
-        DropReason::Rebalanced => 2,
-        DropReason::PeerRequest => 3,
-        DropReason::PeerFailed => 4,
-    }
+    // `DropReason::index` is exhaustive by construction, so every variant
+    // (present and future) gets a stable tag automatically.
+    r.index() as u8
 }
 
 fn drop_reason_from(t: u8) -> Result<DropReason, DecodeError> {
-    Ok(match t {
-        0 => DropReason::Replaced,
-        1 => DropReason::Surplus,
-        2 => DropReason::Rebalanced,
-        3 => DropReason::PeerRequest,
-        4 => DropReason::PeerFailed,
-        other => return Err(DecodeError::BadTag(other)),
-    })
+    DropReason::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or(DecodeError::BadTag(t))
 }
 
 fn probe_kind(w: &mut Writer, k: ProbeKind) {
@@ -198,10 +190,16 @@ fn probe_kind_from(r: &mut Reader<'_>) -> Result<ProbeKind, DecodeError> {
 pub fn encode(msg: &GoCastMsg) -> Vec<u8> {
     let mut w = Writer(Vec::with_capacity(64));
     match msg {
-        GoCastMsg::Data { id, age_us, size } => {
+        GoCastMsg::Data {
+            id,
+            age_us,
+            hop,
+            size,
+        } => {
             w.u8(0);
             w.msg_id(*id);
             w.u64(*age_us);
+            w.u32(*hop);
             // The payload itself is application data; encode its length.
             w.u32(*size);
         }
@@ -328,6 +326,7 @@ pub fn decode(buf: &[u8]) -> Result<GoCastMsg, DecodeError> {
         0 => GoCastMsg::Data {
             id: r.msg_id()?,
             age_us: r.u64()?,
+            hop: r.u32()?,
             size: r.u32()?,
         },
         1 => {
@@ -434,6 +433,7 @@ mod tests {
             GoCastMsg::Data {
                 id: MsgId::new(NodeId::new(3), 7),
                 age_us: 123_456,
+                hop: 4,
                 size: 1024,
             },
             GoCastMsg::Gossip {
@@ -536,6 +536,20 @@ mod tests {
     fn unknown_tag_is_rejected() {
         assert_eq!(decode(&[200]), Err(DecodeError::BadTag(200)));
         assert!(matches!(decode(&[]), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn every_drop_reason_round_trips() {
+        // Exhaustive: the binary tag and the snake_case trace name must
+        // both survive a round trip for every variant.
+        for reason in DropReason::ALL {
+            let msg = GoCastMsg::LinkDrop {
+                kind: LinkKind::Random,
+                reason,
+            };
+            assert_eq!(decode(&encode(&msg)), Ok(msg));
+            assert_eq!(DropReason::parse(reason.as_str()), Some(reason));
+        }
     }
 
     #[test]

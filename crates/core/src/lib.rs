@@ -74,6 +74,7 @@ pub use node::{GoCastCommand, GoCastNode};
 pub use snapshot::{snapshot, Snapshot};
 pub use types::{
     age_on_arrival, DegreeInfo, DeliveryPath, DropReason, GoCastEvent, LinkKind, MsgId,
+    ProtocolCounters,
 };
 pub use wire::{GoCastMsg, GossipEntry, MemberEntry, ProbeKind, HEADER_BYTES};
 

@@ -17,7 +17,7 @@ impl GoCastNode {
         let id = MsgId::new(self.id, self.next_seq);
         self.next_seq += 1;
         let size = self.cfg.payload_size;
-        self.store_message(ctx, id, 0, size);
+        self.store_message(ctx, id, 0, 0, size);
         ctx.emit(GoCastEvent::Injected { id });
         self.wake_gossip(ctx);
         if self.cfg.tree_enabled {
@@ -26,12 +26,20 @@ impl GoCastNode {
     }
 
     /// Records a message in the store and the recent-reception window.
-    fn store_message(&mut self, ctx: &mut Ctx<'_, Self>, id: MsgId, age_us: u64, size: u32) {
+    fn store_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        id: MsgId,
+        age_us: u64,
+        hop: u32,
+        size: u32,
+    ) {
         self.store.insert(
             id,
             Stored {
                 received_at: ctx.now(),
                 age_at_receive_us: age_us,
+                hop,
                 heard_from: Vec::new(),
                 size,
             },
@@ -54,12 +62,25 @@ impl GoCastNode {
         };
         let age_us = stored.age_at(ctx.now());
         let size = stored.size;
+        // The copy we send is one causal hop further from the origin than
+        // the copy we hold.
+        let hop = stored.hop + 1;
         let targets = self.tree_neighbors();
         for peer in targets {
             if Some(peer) == except {
                 continue;
             }
-            ctx.send(peer, GoCastMsg::Data { id, age_us, size });
+            self.counters.pushes_sent += 1;
+            ctx.emit(GoCastEvent::PushSent { id, to: peer, hop });
+            ctx.send(
+                peer,
+                GoCastMsg::Data {
+                    id,
+                    age_us,
+                    hop,
+                    size,
+                },
+            );
         }
     }
 
@@ -71,13 +92,20 @@ impl GoCastNode {
         from: NodeId,
         id: MsgId,
         age_us: u64,
+        hop: u32,
         size: u32,
     ) {
+        let from_tree_link =
+            self.tree.parent == Some(from) || self.neighbors.get(&from).is_some_and(|n| n.is_child);
+        if from_tree_link {
+            self.counters.pushes_received += 1;
+        }
         if let Some(stored) = self.store.get_mut(&id) {
             // Duplicate. (With the abort optimization of §2.1 the bytes
             // would mostly not cross the wire; we still count the event.)
             self.redundant += 1;
-            ctx.emit(GoCastEvent::RedundantData { id });
+            self.counters.redundant += 1;
+            ctx.emit(GoCastEvent::RedundantData { id, from });
             if !stored.heard_from.contains(&from) {
                 stored.heard_from.push(from);
             }
@@ -88,7 +116,7 @@ impl GoCastNode {
             .get(&from)
             .and_then(|n| n.rtt_us.map(std::time::Duration::from_micros));
         let age = age_on_arrival(std::time::Duration::from_micros(age_us), link_rtt);
-        self.store_message(ctx, id, age.as_micros() as u64, size);
+        self.store_message(ctx, id, age.as_micros() as u64, hop, size);
         self.store
             .get_mut(&id)
             .expect("just inserted")
@@ -97,14 +125,16 @@ impl GoCastNode {
         self.delivered += 1;
         self.wake_gossip(ctx);
 
-        let from_tree_link =
-            self.tree.parent == Some(from) || self.neighbors.get(&from).is_some_and(|n| n.is_child);
         let via = if from_tree_link {
             DeliveryPath::Tree
         } else {
             DeliveryPath::Pull
         };
-        ctx.emit(GoCastEvent::Delivered { id, via });
+        match via {
+            DeliveryPath::Tree => self.counters.delivered_tree += 1,
+            _ => self.counters.delivered_pull += 1,
+        }
+        ctx.emit(GoCastEvent::Delivered { id, via, from, hop });
         self.pending_pulls.remove(&id);
 
         if self.cfg.tree_enabled {
@@ -205,6 +235,11 @@ impl GoCastNode {
         if let Some(n) = self.neighbors.get_mut(&peer) {
             n.last_gossip_sent = now;
         }
+        self.counters.gossip_rounds += 1;
+        self.counters.ihave_entries_sent += ids.len() as u64;
+        for &(id, _) in &ids {
+            ctx.emit(GoCastEvent::IHaveSent { id, to: peer });
+        }
         ctx.send(
             peer,
             GoCastMsg::Gossip {
@@ -268,6 +303,7 @@ impl GoCastNode {
         coords: LandmarkVector,
         degrees: DegreeInfo,
     ) {
+        self.counters.gossips_received += 1;
         if let Some(n) = self.neighbors.get_mut(&from) {
             n.degrees = degrees;
         }
@@ -342,7 +378,8 @@ impl GoCastNode {
             return;
         };
         p.requested_from = Some(target);
-        ctx.emit(GoCastEvent::PullRequested { id });
+        self.counters.pulls_issued += 1;
+        ctx.emit(GoCastEvent::PullRequested { id, to: target });
         ctx.send(target, GoCastMsg::PullRequest { ids: vec![id] });
         ctx.set_timer(
             self.cfg.pull_timeout,
@@ -370,6 +407,7 @@ impl GoCastNode {
         let Some(failed) = p.requested_from.take() else {
             return;
         };
+        self.counters.retransmits += 1;
         // Demote the unresponsive candidate to the back of the list.
         p.candidates.retain(|&c| c != failed);
         p.candidates.push(failed);
@@ -394,7 +432,18 @@ impl GoCastNode {
             if let Some(stored) = self.store.get(&id) {
                 let age_us = stored.age_at(now);
                 let size = stored.size;
-                ctx.send(from, GoCastMsg::Data { id, age_us, size });
+                let hop = stored.hop + 1;
+                self.counters.pulls_served += 1;
+                ctx.emit(GoCastEvent::PullServed { id, to: from, hop });
+                ctx.send(
+                    from,
+                    GoCastMsg::Data {
+                        id,
+                        age_us,
+                        hop,
+                        size,
+                    },
+                );
             }
         }
     }

@@ -57,6 +57,8 @@ pub(crate) struct Stored {
     pub received_at: SimTime,
     /// Its age (µs since injection) at the moment of reception.
     pub age_at_receive_us: u64,
+    /// Causal hop count from the origin at reception (0 at the origin).
+    pub hop: u32,
     /// Neighbors this node heard the ID from (excluded from gossips to
     /// them, and never re-offered the payload).
     pub heard_from: Vec<NodeId>,
@@ -141,6 +143,8 @@ pub struct GoCastNode {
     pub(crate) delivered: u64,
     pub(crate) redundant: u64,
     pub(crate) link_changes: u64,
+    /// Per-protocol activity counters (pushes, gossip, pulls, drops).
+    pub(crate) counters: crate::types::ProtocolCounters,
 }
 
 impl GoCastNode {
@@ -225,6 +229,7 @@ impl GoCastNode {
             delivered: 0,
             redundant: 0,
             link_changes: 0,
+            counters: crate::types::ProtocolCounters::default(),
         }
     }
 
@@ -340,6 +345,12 @@ impl GoCastNode {
         self.link_changes
     }
 
+    /// Per-node protocol activity counters (pushes sent/received, gossip
+    /// rounds, pulls issued/served, retransmits, drops by reason).
+    pub fn counters(&self) -> &crate::types::ProtocolCounters {
+        &self.counters
+    }
+
     /// The membership view.
     pub fn member_view(&self) -> &MemberView {
         &self.view
@@ -411,7 +422,12 @@ impl Protocol for GoCastNode {
             n.last_seen = ctx.now();
         }
         match msg {
-            GoCastMsg::Data { id, age_us, size } => self.on_data(ctx, from, id, age_us, size),
+            GoCastMsg::Data {
+                id,
+                age_us,
+                hop,
+                size,
+            } => self.on_data(ctx, from, id, age_us, hop, size),
             GoCastMsg::Gossip {
                 ids,
                 members,

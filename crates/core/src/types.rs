@@ -42,12 +42,28 @@ pub enum LinkKind {
     Nearby,
 }
 
+impl LinkKind {
+    /// Stable snake_case name, used by the JSONL trace schema.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            LinkKind::Random => "random",
+            LinkKind::Nearby => "nearby",
+        }
+    }
+
+    /// Parses the name produced by [`LinkKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "random" => Some(LinkKind::Random),
+            "nearby" => Some(LinkKind::Nearby),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for LinkKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LinkKind::Random => write!(f, "random"),
-            LinkKind::Nearby => write!(f, "nearby"),
-        }
+        f.write_str(self.as_str())
     }
 }
 
@@ -102,6 +118,27 @@ pub enum DeliveryPath {
     Local,
 }
 
+impl DeliveryPath {
+    /// Stable snake_case name, used by the JSONL trace schema.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            DeliveryPath::Tree => "tree",
+            DeliveryPath::Pull => "pull",
+            DeliveryPath::Local => "local",
+        }
+    }
+
+    /// Parses the name produced by [`DeliveryPath::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tree" => Some(DeliveryPath::Tree),
+            "pull" => Some(DeliveryPath::Pull),
+            "local" => Some(DeliveryPath::Local),
+            _ => None,
+        }
+    }
+}
+
 /// Why an overlay link was removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DropReason {
@@ -115,6 +152,170 @@ pub enum DropReason {
     PeerRequest,
     /// The peer went silent past the neighbor timeout.
     PeerFailed,
+}
+
+impl DropReason {
+    /// Every variant, in [`DropReason::index`] order.
+    ///
+    /// Exhaustiveness is enforced by `index`/`as_str`: adding a variant
+    /// without extending this table is a compile error there.
+    pub const ALL: [DropReason; 5] = [
+        DropReason::Replaced,
+        DropReason::Surplus,
+        DropReason::Rebalanced,
+        DropReason::PeerRequest,
+        DropReason::PeerFailed,
+    ];
+
+    /// Dense index into per-reason counter arrays (`0..ALL.len()`).
+    pub const fn index(self) -> usize {
+        match self {
+            DropReason::Replaced => 0,
+            DropReason::Surplus => 1,
+            DropReason::Rebalanced => 2,
+            DropReason::PeerRequest => 3,
+            DropReason::PeerFailed => 4,
+        }
+    }
+
+    /// Stable snake_case name, used by the JSONL trace schema.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Replaced => "replaced",
+            DropReason::Surplus => "surplus",
+            DropReason::Rebalanced => "rebalanced",
+            DropReason::PeerRequest => "peer_request",
+            DropReason::PeerFailed => "peer_failed",
+        }
+    }
+
+    /// Parses the name produced by [`DropReason::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        DropReason::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-node protocol activity counters, maintained inline by the node and
+/// exposed through [`crate::GoCastNode::counters`] and the overlay
+/// [`crate::Snapshot`].
+///
+/// These are the node-wise message-complexity numbers the paper's
+/// evaluation reasons about (tree pushes vs. gossip vs. pull recovery),
+/// kept O(1) per node regardless of run length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProtocolCounters {
+    /// DATA messages pushed along tree links (one per link per message).
+    pub pushes_sent: u64,
+    /// DATA messages received over a tree link from the sender's view of
+    /// the tree (first copies and redundant copies alike).
+    pub pushes_received: u64,
+    /// Gossip rounds in which this node actually sent an IHAVE message.
+    pub gossip_rounds: u64,
+    /// IHAVE message-id entries sent across all gossip rounds.
+    pub ihave_entries_sent: u64,
+    /// Gossip (IHAVE) messages received.
+    pub gossips_received: u64,
+    /// Pull requests this node issued (initial requests and retries).
+    pub pulls_issued: u64,
+    /// Pull requests this node served with full payloads.
+    pub pulls_served: u64,
+    /// Pull retries after a pull timeout (subset of `pulls_issued`).
+    pub retransmits: u64,
+    /// Messages first delivered via a tree push.
+    pub delivered_tree: u64,
+    /// Messages first delivered via gossip-triggered pull recovery.
+    pub delivered_pull: u64,
+    /// Redundant full payloads received (message already held).
+    pub redundant: u64,
+    /// Overlay links dropped, indexed by [`DropReason::index`].
+    pub drops: [u64; DropReason::ALL.len()],
+}
+
+impl ProtocolCounters {
+    /// Records one dropped link under its reason.
+    pub fn count_drop(&mut self, reason: DropReason) {
+        self.drops[reason.index()] += 1;
+    }
+
+    /// Links dropped for `reason`.
+    pub fn drops_for(&self, reason: DropReason) -> u64 {
+        self.drops[reason.index()]
+    }
+
+    /// Links dropped for any reason.
+    pub fn drops_total(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Messages first delivered via any path.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_tree + self.delivered_pull
+    }
+
+    /// Adds every counter from `other` into `self` (for cluster-wide
+    /// aggregation over a snapshot).
+    pub fn merge(&mut self, other: &ProtocolCounters) {
+        self.pushes_sent += other.pushes_sent;
+        self.pushes_received += other.pushes_received;
+        self.gossip_rounds += other.gossip_rounds;
+        self.ihave_entries_sent += other.ihave_entries_sent;
+        self.gossips_received += other.gossips_received;
+        self.pulls_issued += other.pulls_issued;
+        self.pulls_served += other.pulls_served;
+        self.retransmits += other.retransmits;
+        self.delivered_tree += other.delivered_tree;
+        self.delivered_pull += other.delivered_pull;
+        self.redundant += other.redundant;
+        for (d, o) in self.drops.iter_mut().zip(other.drops.iter()) {
+            *d += o;
+        }
+    }
+}
+
+impl fmt::Display for ProtocolCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "push {}/{} (sent/recv)  gossip {} rounds ({} ids sent, {} recv)  \
+             pull {}/{} (issued/served, {} retries)  delivered {}+{} (tree+pull)  \
+             redundant {}  drops {}",
+            self.pushes_sent,
+            self.pushes_received,
+            self.gossip_rounds,
+            self.ihave_entries_sent,
+            self.gossips_received,
+            self.pulls_issued,
+            self.pulls_served,
+            self.retransmits,
+            self.delivered_tree,
+            self.delivered_pull,
+            self.redundant,
+            self.drops_total(),
+        )?;
+        let mut any = false;
+        for r in DropReason::ALL {
+            if self.drops_for(r) > 0 {
+                write!(
+                    f,
+                    "{}{}={}",
+                    if any { " " } else { " (" },
+                    r.as_str(),
+                    self.drops_for(r)
+                )?;
+                any = true;
+            }
+        }
+        if any {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
 }
 
 /// Metric events emitted to the simulation recorder.
@@ -134,12 +335,45 @@ pub enum GoCastEvent {
         id: MsgId,
         /// How it arrived.
         via: DeliveryPath,
+        /// The neighbor the payload came from (the causal parent in the
+        /// dissemination tree; the origin itself for a one-hop delivery).
+        from: NodeId,
+        /// Causal hop count from the origin (1 = direct from origin).
+        hop: u32,
     },
     /// A full payload arrived for a message already received (the 2%
     /// overhead discussed in §2.1).
     RedundantData {
         /// The message.
         id: MsgId,
+        /// The neighbor the duplicate came from.
+        from: NodeId,
+    },
+    /// A full payload was pushed to a tree neighbor.
+    PushSent {
+        /// The message.
+        id: MsgId,
+        /// The tree neighbor it was pushed to.
+        to: NodeId,
+        /// Hop count stamped on the outgoing copy.
+        hop: u32,
+    },
+    /// A message id was advertised to a neighbor in a gossip (IHAVE)
+    /// message — one event per id entry.
+    IHaveSent {
+        /// The advertised message.
+        id: MsgId,
+        /// The gossip target.
+        to: NodeId,
+    },
+    /// A pull request was answered with the full payload.
+    PullServed {
+        /// The message.
+        id: MsgId,
+        /// The requesting neighbor.
+        to: NodeId,
+        /// Hop count stamped on the outgoing copy.
+        hop: u32,
     },
     /// An overlay link to `peer` was established.
     LinkAdded {
@@ -172,7 +406,87 @@ pub enum GoCastEvent {
     PullRequested {
         /// The missing message.
         id: MsgId,
+        /// The neighbor the pull was sent to.
+        to: NodeId,
     },
+}
+
+impl gocast_sim::TraceEvent for GoCastEvent {
+    /// The JSONL trace schema: one flat object per event with stable
+    /// snake_case keys. `ev` names the kind; message ids are split into
+    /// `origin`/`seq`; enum values use the `as_str` names.
+    fn trace_fields(&self, out: &mut String) {
+        use std::fmt::Write as _;
+
+        fn msg(out: &mut String, ev: &str, id: MsgId) {
+            let _ = write!(
+                out,
+                "\"ev\":\"{ev}\",\"origin\":{},\"seq\":{}",
+                id.origin.as_u32(),
+                id.seq
+            );
+        }
+
+        match self {
+            GoCastEvent::Injected { id } => msg(out, "injected", *id),
+            GoCastEvent::Delivered { id, via, from, hop } => {
+                msg(out, "delivered", *id);
+                let _ = write!(
+                    out,
+                    ",\"from\":{},\"hop\":{},\"via\":\"{}\"",
+                    from.as_u32(),
+                    hop,
+                    via.as_str()
+                );
+            }
+            GoCastEvent::RedundantData { id, from } => {
+                msg(out, "redundant_data", *id);
+                let _ = write!(out, ",\"from\":{}", from.as_u32());
+            }
+            GoCastEvent::PushSent { id, to, hop } => {
+                msg(out, "push_sent", *id);
+                let _ = write!(out, ",\"to\":{},\"hop\":{}", to.as_u32(), hop);
+            }
+            GoCastEvent::IHaveSent { id, to } => {
+                msg(out, "ihave_sent", *id);
+                let _ = write!(out, ",\"to\":{}", to.as_u32());
+            }
+            GoCastEvent::PullRequested { id, to } => {
+                msg(out, "pull_requested", *id);
+                let _ = write!(out, ",\"to\":{}", to.as_u32());
+            }
+            GoCastEvent::PullServed { id, to, hop } => {
+                msg(out, "pull_served", *id);
+                let _ = write!(out, ",\"to\":{},\"hop\":{}", to.as_u32(), hop);
+            }
+            GoCastEvent::LinkAdded { peer, kind } => {
+                let _ = write!(
+                    out,
+                    "\"ev\":\"link_added\",\"peer\":{},\"kind\":\"{}\"",
+                    peer.as_u32(),
+                    kind.as_str()
+                );
+            }
+            GoCastEvent::LinkDropped { peer, kind, reason } => {
+                let _ = write!(
+                    out,
+                    "\"ev\":\"link_dropped\",\"peer\":{},\"kind\":\"{}\",\"reason\":\"{}\"",
+                    peer.as_u32(),
+                    kind.as_str(),
+                    reason.as_str()
+                );
+            }
+            GoCastEvent::ParentChanged { parent } => match parent {
+                Some(p) => {
+                    let _ = write!(out, "\"ev\":\"parent_changed\",\"parent\":{}", p.as_u32());
+                }
+                None => out.push_str("\"ev\":\"parent_changed\",\"parent\":null"),
+            },
+            GoCastEvent::BecameRoot { epoch } => {
+                let _ = write!(out, "\"ev\":\"became_root\",\"epoch\":{epoch}");
+            }
+        }
+    }
 }
 
 /// Computes the age of a message at reception: the age stamped on the wire
@@ -241,5 +555,115 @@ mod tests {
     fn link_kind_displays() {
         assert_eq!(LinkKind::Random.to_string(), "random");
         assert_eq!(LinkKind::Nearby.to_string(), "nearby");
+    }
+
+    #[test]
+    fn drop_reason_names_round_trip() {
+        for (i, r) in DropReason::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i, "ALL must be in index order");
+            assert_eq!(DropReason::parse(r.as_str()), Some(r));
+            assert!(
+                r.as_str()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{} is not snake_case",
+                r.as_str()
+            );
+        }
+        assert_eq!(DropReason::parse("no_such_reason"), None);
+    }
+
+    #[test]
+    fn delivery_path_names_round_trip() {
+        for p in [DeliveryPath::Tree, DeliveryPath::Pull, DeliveryPath::Local] {
+            assert_eq!(DeliveryPath::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(DeliveryPath::parse("teleport"), None);
+    }
+
+    #[test]
+    fn counters_cover_every_drop_reason() {
+        let mut c = ProtocolCounters::default();
+        for r in DropReason::ALL {
+            c.count_drop(r);
+            c.count_drop(r);
+        }
+        for r in DropReason::ALL {
+            assert_eq!(c.drops_for(r), 2);
+        }
+        assert_eq!(c.drops_total(), 2 * DropReason::ALL.len() as u64);
+    }
+
+    #[test]
+    fn trace_fields_use_stable_snake_case_schema() {
+        use gocast_sim::TraceEvent as _;
+        let cases: Vec<(GoCastEvent, &str)> = vec![
+            (
+                GoCastEvent::Injected {
+                    id: MsgId::new(NodeId::new(3), 9),
+                },
+                "\"ev\":\"injected\",\"origin\":3,\"seq\":9",
+            ),
+            (
+                GoCastEvent::Delivered {
+                    id: MsgId::new(NodeId::new(3), 9),
+                    via: DeliveryPath::Tree,
+                    from: NodeId::new(5),
+                    hop: 2,
+                },
+                "\"ev\":\"delivered\",\"origin\":3,\"seq\":9,\"from\":5,\"hop\":2,\"via\":\"tree\"",
+            ),
+            (
+                GoCastEvent::PushSent {
+                    id: MsgId::new(NodeId::new(0), 1),
+                    to: NodeId::new(4),
+                    hop: 1,
+                },
+                "\"ev\":\"push_sent\",\"origin\":0,\"seq\":1,\"to\":4,\"hop\":1",
+            ),
+            (
+                GoCastEvent::PullRequested {
+                    id: MsgId::new(NodeId::new(0), 1),
+                    to: NodeId::new(8),
+                },
+                "\"ev\":\"pull_requested\",\"origin\":0,\"seq\":1,\"to\":8",
+            ),
+            (
+                GoCastEvent::LinkDropped {
+                    peer: NodeId::new(2),
+                    kind: LinkKind::Nearby,
+                    reason: DropReason::PeerFailed,
+                },
+                "\"ev\":\"link_dropped\",\"peer\":2,\"kind\":\"nearby\",\"reason\":\"peer_failed\"",
+            ),
+            (
+                GoCastEvent::ParentChanged { parent: None },
+                "\"ev\":\"parent_changed\",\"parent\":null",
+            ),
+        ];
+        for (ev, expect) in cases {
+            let mut out = String::new();
+            ev.trace_fields(&mut out);
+            assert_eq!(out, expect, "schema drift for {ev:?}");
+        }
+    }
+
+    #[test]
+    fn counters_merge_adds_fieldwise() {
+        let mut a = ProtocolCounters {
+            pushes_sent: 1,
+            delivered_tree: 2,
+            ..Default::default()
+        };
+        let mut b = ProtocolCounters {
+            pushes_sent: 10,
+            delivered_pull: 5,
+            ..Default::default()
+        };
+        b.count_drop(DropReason::Surplus);
+        a.merge(&b);
+        assert_eq!(a.pushes_sent, 11);
+        assert_eq!(a.delivered_total(), 7);
+        assert_eq!(a.drops_for(DropReason::Surplus), 1);
     }
 }

@@ -44,6 +44,11 @@ pub enum GoCastMsg {
         id: MsgId,
         /// Age at send time (µs since injection at the origin).
         age_us: u64,
+        /// Causal hop count: how many overlay hops this copy is from the
+        /// origin (the origin sends `hop = 1`). Carried on the wire so
+        /// receivers can emit hop-annotated delivery events and traces can
+        /// reconstruct dissemination trees.
+        hop: u32,
         /// Payload size in bytes.
         size: u32,
     },
@@ -166,7 +171,7 @@ impl Wire for GoCastMsg {
     fn wire_size(&self) -> u32 {
         HEADER_BYTES
             + match self {
-                GoCastMsg::Data { size, .. } => 21 + size,
+                GoCastMsg::Data { size, .. } => 25 + size,
                 GoCastMsg::Gossip {
                     ids,
                     members,
@@ -230,9 +235,10 @@ mod tests {
         let m = GoCastMsg::Data {
             id: MsgId::new(NodeId::new(0), 1),
             age_us: 0,
+            hop: 1,
             size: 1024,
         };
-        assert_eq!(m.wire_size(), HEADER_BYTES + 21 + 1024);
+        assert_eq!(m.wire_size(), HEADER_BYTES + 25 + 1024);
         assert_eq!(m.class(), TrafficClass::Data);
     }
 
@@ -272,6 +278,7 @@ mod tests {
         let data = GoCastMsg::Data {
             id: MsgId::new(NodeId::new(1), 0),
             age_us: 0,
+            hop: 1,
             size: 1024,
         };
         assert!(gossip.wire_size() * 4 < data.wire_size());
@@ -284,6 +291,7 @@ mod tests {
             GoCastMsg::Data {
                 id: MsgId::new(NodeId::new(0), 1),
                 age_us: 9,
+                hop: 3,
                 size: 512,
             },
             GoCastMsg::Gossip {

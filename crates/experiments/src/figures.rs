@@ -791,3 +791,102 @@ pub fn empty_or_mean(cdf: &Cdf) -> Option<Duration> {
         Some(cdf.mean())
     }
 }
+
+/// `trace` subcommand: a Figure 3-style GoCast dissemination run with the
+/// causal JSONL trace enabled, then offline analysis of the trace it just
+/// wrote — per-message dissemination-tree reconstruction, hop-count and
+/// per-hop latency breakdowns, the tree-vs-pull recovery fraction, and the
+/// protocol invariant oracle. Returns the violations found so the CLI can
+/// exit nonzero on a broken invariant.
+///
+/// With `fail_frac = 0` this is the paper's no-failure run (recovery
+/// fraction near zero); with `fail_frac = 0.2` it measures how much of
+/// Figure 3(b)'s coverage the gossip/pull path supplies.
+pub fn trace_run(opts: &ExpOptions, fail_frac: f64) -> Vec<gocast_analysis::Violation> {
+    use gocast_analysis::trace::{scan_trace, InvariantOracle, TraceAnalysis};
+
+    let mut opts = opts.clone();
+    if opts.trace_out.is_none() {
+        let dir = opts
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        opts.trace_out = Some(dir.join("trace.jsonl"));
+    }
+    let trace_path = opts.trace_out.clone().expect("set above");
+    if let Some(dir) = trace_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+
+    let cfg = GoCastConfig::default();
+    eprintln!(
+        "traced GoCast run: {} nodes, {} messages, {:.0}% failures ...",
+        opts.nodes,
+        opts.messages,
+        fail_frac * 100.0
+    );
+    let stats = run_delay(&opts, Proto::GoCast(cfg.clone()), fail_frac);
+    log_kernel(&stats.kernel);
+
+    let file = std::fs::File::open(&trace_path)
+        .unwrap_or_else(|e| panic!("cannot reopen trace {}: {e}", trace_path.display()));
+    let mut analysis = TraceAnalysis::new();
+    let mut oracle = InvariantOracle::for_protocol(&cfg);
+    let records = scan_trace(std::io::BufReader::new(file), |r| {
+        oracle.check(&r);
+        analysis.feed(&r);
+    })
+    .unwrap_or_else(|e| panic!("trace {} is malformed: {e}", trace_path.display()));
+    oracle.finish();
+    let report = analysis.report();
+
+    println!(
+        "trace {}: {records} records, {} messages",
+        trace_path.display(),
+        report.messages
+    );
+    println!(
+        "deliveries: {} ({} tree, {} pull) — recovery fraction {:.4}",
+        report.deliveries,
+        report.tree_deliveries,
+        report.pull_deliveries,
+        report.recovery_fraction()
+    );
+    println!(
+        "dissemination trees reconstructed: {}/{} (mean hops {:.2}, max hop {})",
+        report.trees_reconstructed,
+        report.messages,
+        report.mean_hops(),
+        report.max_hop()
+    );
+
+    let mut hops = Table::new(["hop", "deliveries", "mean_hop_latency_ms"]);
+    for (hop, &n) in report.hop_histogram.iter().enumerate().skip(1) {
+        let lat = report
+            .per_hop_latency
+            .iter()
+            .find(|p| p.hop == hop as u32)
+            .map(|p| format!("{:.2}", p.mean_ms))
+            .unwrap_or_else(|| "-".into());
+        hops.row([hop.to_string(), n.to_string(), lat]);
+    }
+    println!("{hops}");
+    opts.write_csv("trace_hops", &hops);
+
+    if oracle.is_clean() {
+        println!(
+            "invariant oracle: {} records checked, 0 violations",
+            oracle.records_checked()
+        );
+    } else {
+        println!(
+            "invariant oracle: {} VIOLATIONS in {} records:",
+            oracle.violations().len(),
+            oracle.records_checked()
+        );
+        for v in oracle.violations().iter().take(20) {
+            println!("  {v}");
+        }
+    }
+    oracle.violations().to_vec()
+}

@@ -24,4 +24,4 @@ pub mod runners;
 pub mod sweep;
 
 pub use options::ExpOptions;
-pub use runners::{DelayStats, Proto};
+pub use runners::{DelayStats, ExpRecorder, Proto};

@@ -21,12 +21,15 @@
 //! ablate  maintenance design-choice ablations
 //! adaptive  future-work adaptive gossip/maintenance periods
 //! sweep   multi-seed robustness check of the headline speedup
+//! trace       traced GoCast run + tree reconstruction + invariant oracle
+//! trace-fail  same with 20% concurrent failures (measures recovery)
 //! all     everything above at full scale
 //! ```
 //!
 //! Flags: `--quick` (reduced scale), `--nodes N`, `--seed S`,
 //! `--warmup SECS`, `--messages M`, `--rate R`, `--drain SECS`,
-//! `--out DIR`, `--no-csv`.
+//! `--out DIR`, `--no-csv`, `--trace-out PATH` (stream the causal JSONL
+//! trace of every run to PATH; any experiment accepts it).
 
 use std::time::Duration;
 
@@ -34,8 +37,8 @@ use gocast_experiments::{figures, ExpOptions};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|all> \
-         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv]"
+        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|all> \
+         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -73,6 +76,7 @@ fn parse_opts(args: &[String]) -> ExpOptions {
             }
             "--out" => opts.out_dir = Some(take("--out").into()),
             "--no-csv" => opts.out_dir = None,
+            "--trace-out" => opts.trace_out = Some(take("--trace-out").into()),
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -182,6 +186,14 @@ fn main() {
             println!("GoCast mean delay (s): {go}");
             println!("gossip mean delay (s): {gs}");
             println!("speedup of means: {:.1}x", gs.mean / go.mean);
+        }
+        "trace" | "trace-fail" => {
+            let fail_frac = if exp == "trace-fail" { 0.2 } else { 0.0 };
+            let violations = figures::trace_run(&opts, fail_frac);
+            if !violations.is_empty() {
+                eprintln!("done in {:?}", t0.elapsed());
+                std::process::exit(1);
+            }
         }
         "all" => {
             figures::fig1(&opts);

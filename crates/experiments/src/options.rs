@@ -22,6 +22,11 @@ pub struct ExpOptions {
     pub drain: Duration,
     /// Where CSV files go (`None` = don't write).
     pub out_dir: Option<PathBuf>,
+    /// Where to stream the causal JSONL trace (`None` = tracing off).
+    ///
+    /// When several runs happen in one process, the second and later
+    /// traces go to `<stem>.<k>.<ext>` so no run clobbers another.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -35,6 +40,7 @@ impl Default for ExpOptions {
             rate: 100.0,
             drain: Duration::from_secs(40),
             out_dir: Some(PathBuf::from("results")),
+            trace_out: None,
         }
     }
 }
@@ -54,6 +60,7 @@ impl ExpOptions {
             rate: 25.0,
             drain: Duration::from_secs(30),
             out_dir: None,
+            trace_out: None,
         }
     }
 

@@ -1,16 +1,100 @@
 //! Shared simulation runners behind every experiment.
 
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
-use gocast::{snapshot, GoCastCommand, GoCastConfig, GoCastNode, LinkKind, Snapshot};
+use gocast::{snapshot, GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode, LinkKind, Snapshot};
 use gocast_analysis::{Cdf, DelayHistogram, Histogram, MetricsRecorder};
 use gocast_baselines::{PushGossipConfig, PushGossipNode};
 use gocast_net::{synthetic_king, SiteLatencyMatrix, SyntheticKingConfig};
-use gocast_sim::{KernelStats, NodeId, Sim, SimBuilder, SimTime};
+use gocast_sim::{KernelStats, NodeId, Recorder, Sim, SimBuilder, SimTime, TraceRecorder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::options::ExpOptions;
+
+/// Distinguishes traces when one process runs several simulations (e.g.
+/// `fig3a` runs five protocols): run `k > 0` writes `<stem>.<k>.<ext>`.
+static TRACE_RUN: AtomicU32 = AtomicU32::new(0);
+
+fn numbered_trace_path(path: &Path, k: u32) -> PathBuf {
+    if k == 0 {
+        return path.to_path_buf();
+    }
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let name = match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}.{k}.{ext}"),
+        None => format!("{stem}.{k}"),
+    };
+    path.with_file_name(name)
+}
+
+/// The recorder every experiment runner installs: the aggregating
+/// [`MetricsRecorder`] always, plus an optional JSONL causal-trace sink
+/// when `--trace-out` is given. With tracing off (the default) the only
+/// added cost per event is one `Option` check; the aggregate side is
+/// reachable through `Deref`, so `sim.recorder().delivered()` and friends
+/// read exactly as before.
+#[derive(Debug, Default)]
+pub struct ExpRecorder {
+    metrics: MetricsRecorder,
+    trace: Option<TraceRecorder<io::BufWriter<File>>>,
+}
+
+impl ExpRecorder {
+    /// A metrics-only recorder (tracing off).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recorder honoring `opts.trace_out`. A trace-file open failure
+    /// warns and falls back to metrics-only rather than aborting the run.
+    pub fn for_opts(opts: &ExpOptions) -> Self {
+        let trace = opts.trace_out.as_ref().and_then(|base| {
+            let path = numbered_trace_path(base, TRACE_RUN.fetch_add(1, Ordering::Relaxed));
+            match TraceRecorder::create(&path) {
+                Ok(rec) => {
+                    eprintln!("tracing to {}", path.display());
+                    Some(rec)
+                }
+                Err(e) => {
+                    eprintln!("warning: cannot open trace {}: {e}", path.display());
+                    None
+                }
+            }
+        });
+        ExpRecorder {
+            metrics: MetricsRecorder::new(),
+            trace,
+        }
+    }
+
+    /// Lines written to the trace so far (`None` when tracing is off).
+    pub fn trace_lines(&self) -> Option<u64> {
+        self.trace.as_ref().map(|t| t.lines())
+    }
+}
+
+impl Deref for ExpRecorder {
+    type Target = MetricsRecorder;
+
+    fn deref(&self) -> &MetricsRecorder {
+        &self.metrics
+    }
+}
+
+impl Recorder<GoCastEvent> for ExpRecorder {
+    fn record(&mut self, now: SimTime, node: NodeId, event: GoCastEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(now, node, event.clone());
+        }
+        self.metrics.record(now, node, event);
+    }
+}
 
 /// Which protocol to drive through a delay experiment.
 #[derive(Debug, Clone)]
@@ -86,7 +170,7 @@ fn failure_set(opts: &ExpOptions, fail_frac: f64) -> Vec<NodeId> {
 
 /// Schedules `opts.messages` multicasts at `opts.rate` from random live
 /// sources, starting at `start`.
-fn schedule_injections<P>(sim: &mut Sim<P, MetricsRecorder>, opts: &ExpOptions, start: SimTime)
+fn schedule_injections<P>(sim: &mut Sim<P, ExpRecorder>, opts: &ExpOptions, start: SimTime)
 where
     P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
 {
@@ -99,11 +183,7 @@ where
     }
 }
 
-fn collect_delay_stats<P>(
-    sim: &Sim<P, MetricsRecorder>,
-    opts: &ExpOptions,
-    label: String,
-) -> DelayStats
+fn collect_delay_stats<P>(sim: &Sim<P, ExpRecorder>, opts: &ExpOptions, label: String) -> DelayStats
 where
     P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
 {
@@ -128,7 +208,7 @@ pub fn build_gocast_sim(
     opts: &ExpOptions,
     cfg: &GoCastConfig,
     track_pairs: bool,
-) -> Sim<GoCastNode, MetricsRecorder> {
+) -> Sim<GoCastNode, ExpRecorder> {
     let net = build_network(opts);
     let links_per_node = (cfg.c_degree() / 2).max(1);
     let mut boot = gocast::bootstrap_random_graph(opts.nodes, links_per_node, opts.seed ^ 0xB007);
@@ -136,7 +216,7 @@ pub fn build_gocast_sim(
     if track_pairs {
         builder = builder.track_pair_counts();
     }
-    builder.build_with(MetricsRecorder::new(), |id| {
+    builder.build_with(ExpRecorder::for_opts(opts), |id| {
         let (links, members) = boot(id);
         GoCastNode::with_initial_links(id, cfg.clone(), links, members)
     })
@@ -161,7 +241,7 @@ pub fn run_delay(opts: &ExpOptions, proto: Proto, fail_frac: f64) -> DelayStats 
             let net = build_network(opts);
             let mut sim = SimBuilder::new(net)
                 .seed(opts.seed)
-                .build_with(MetricsRecorder::new(), |id| {
+                .build_with(ExpRecorder::for_opts(opts), |id| {
                     PushGossipNode::new(id, cfg.clone())
                 });
             // No overlay to warm up: full membership is assumed.
@@ -176,7 +256,7 @@ pub fn run_delay(opts: &ExpOptions, proto: Proto, fail_frac: f64) -> DelayStats 
 }
 
 fn apply_failures_and_freeze<P>(
-    sim: &mut Sim<P, MetricsRecorder>,
+    sim: &mut Sim<P, ExpRecorder>,
     opts: &ExpOptions,
     fail_frac: f64,
     freeze: bool,
@@ -317,6 +397,7 @@ mod tests {
             rate: 5.0,
             drain: Duration::from_secs(20),
             out_dir: None,
+            trace_out: None,
         }
     }
 

@@ -79,6 +79,7 @@ mod queue;
 mod recorder;
 mod stats;
 mod time;
+mod trace;
 
 pub use id::NodeId;
 pub use kernel::{KernelStats, Sim, SimBuilder};
@@ -88,3 +89,4 @@ pub use queue::{EventQueue, Scheduled};
 pub use recorder::{FilterRecorder, FnRecorder, NullRecorder, Recorder, TeeRecorder, VecRecorder};
 pub use stats::{ClassCounters, TrafficClass, TrafficStats};
 pub use time::SimTime;
+pub use trace::{TraceEvent, TraceRecorder};

@@ -1,0 +1,283 @@
+//! Streaming JSONL trace sink.
+//!
+//! [`TraceRecorder`] is a [`Recorder`] that serializes every event as one
+//! JSON object per line and writes it to any [`io::Write`] sink. It is the
+//! causal-trace counterpart of the aggregating recorders: where those fold
+//! events into O(nodes) summaries, a trace preserves the full per-event
+//! `(time, node, event)` stream for offline tree reconstruction and
+//! invariant checking — at O(1) *memory* per event (a bounded reuse
+//! buffer), with the stream itself living on disk.
+//!
+//! The event type opts in by implementing [`TraceEvent`], appending its
+//! own fields to the line. The schema is flat JSON with stable snake_case
+//! keys:
+//!
+//! ```text
+//! {"t_us":1200300,"node":17,"ev":"delivered","origin":3,"seq":9,"from":5,"hop":2,"via":"tree"}
+//! ```
+//!
+//! Tracing is strictly opt-in: simulations built without a
+//! `TraceRecorder` (the default [`NullRecorder`](crate::NullRecorder)
+//! path, or any aggregate-only recorder) pay nothing.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+use crate::id::NodeId;
+use crate::recorder::Recorder;
+use crate::time::SimTime;
+
+/// Flush the internal string buffer to the sink once it exceeds this many
+/// bytes. Keeps memory bounded while amortizing `write` syscalls.
+const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+/// An event that can append itself to a JSONL trace line.
+///
+/// Implementations append `"ev":"<kind>"` plus their own fields (each
+/// preceded by a comma) to `out`; the recorder supplies the `t_us` and
+/// `node` fields and the surrounding braces. Keys and enum values must be
+/// stable snake_case — they are a schema other tools parse.
+pub trait TraceEvent {
+    /// Appends `"ev":"...",...` (no surrounding braces, no leading comma)
+    /// to `out`.
+    fn trace_fields(&self, out: &mut String);
+}
+
+/// Streams events as JSON Lines into an [`io::Write`] sink.
+///
+/// Buffers formatted lines in a reused `String` and flushes whenever the
+/// buffer passes a fixed threshold, on [`TraceRecorder::flush`], and on
+/// drop (best-effort). Write errors are sticky: the first one is kept and
+/// returned by [`TraceRecorder::finish`]; subsequent events are dropped
+/// rather than panicking mid-simulation.
+///
+/// ```
+/// use gocast_sim::{NodeId, Recorder, SimTime, TraceEvent, TraceRecorder};
+///
+/// struct Tick;
+/// impl TraceEvent for Tick {
+///     fn trace_fields(&self, out: &mut String) {
+///         out.push_str("\"ev\":\"tick\"");
+///     }
+/// }
+///
+/// let mut rec = TraceRecorder::new(Vec::new());
+/// rec.record(SimTime::from_secs(1), NodeId::new(7), Tick);
+/// let bytes = rec.finish().unwrap();
+/// assert_eq!(
+///     String::from_utf8(bytes).unwrap(),
+///     "{\"t_us\":1000000,\"node\":7,\"ev\":\"tick\"}\n"
+/// );
+/// ```
+#[derive(Debug)]
+pub struct TraceRecorder<W: io::Write> {
+    /// `None` only after `finish()` has taken the sink out.
+    sink: Option<W>,
+    buf: String,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl TraceRecorder<io::BufWriter<File>> {
+    /// Opens (truncating) `path` and returns a recorder writing to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from [`File::create`].
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(TraceRecorder::new(io::BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: io::Write> TraceRecorder<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> Self {
+        TraceRecorder {
+            sink: Some(sink),
+            buf: String::with_capacity(FLUSH_THRESHOLD + 256),
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines written (including any still in the buffer).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Writes the buffered lines through to the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error (current or previously recorded).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let Some(sink) = self.sink.as_mut() else {
+            return Ok(());
+        };
+        if !self.buf.is_empty() {
+            sink.write_all(self.buf.as_bytes())?;
+            self.buf.clear();
+        }
+        sink.flush()
+    }
+
+    /// Flushes and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error (current or previously recorded).
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.sink.take().expect("finish called once"))
+    }
+
+    fn flush_buffer(&mut self) {
+        let Some(sink) = self.sink.as_mut() else {
+            self.buf.clear();
+            return;
+        };
+        if self.error.is_some() {
+            self.buf.clear();
+            return;
+        }
+        if let Err(e) = sink.write_all(self.buf.as_bytes()) {
+            self.error = Some(e);
+        }
+        self.buf.clear();
+    }
+}
+
+impl<W: io::Write, E: TraceEvent> Recorder<E> for TraceRecorder<W> {
+    fn record(&mut self, now: SimTime, node: NodeId, event: E) {
+        let t_us = now.as_nanos() / 1_000;
+        let _ = write!(self.buf, "{{\"t_us\":{},\"node\":{},", t_us, node.as_u32());
+        event.trace_fields(&mut self.buf);
+        self.buf.push_str("}\n");
+        self.lines += 1;
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.flush_buffer();
+        }
+    }
+}
+
+impl<W: io::Write> Drop for TraceRecorder<W> {
+    fn drop(&mut self) {
+        self.flush_buffer();
+        if let Some(sink) = self.sink.as_mut() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ev(u32);
+
+    impl TraceEvent for Ev {
+        fn trace_fields(&self, out: &mut String) {
+            let _ = write!(out, "\"ev\":\"ev\",\"v\":{}", self.0);
+        }
+    }
+
+    #[test]
+    fn lines_are_flat_json() {
+        let mut rec = TraceRecorder::new(Vec::new());
+        rec.record(SimTime::from_nanos(1_500), NodeId::new(3), Ev(9));
+        rec.record(SimTime::from_secs(2), NodeId::new(0), Ev(1));
+        assert_eq!(rec.lines(), 2);
+        let out = String::from_utf8(rec.finish().unwrap()).unwrap();
+        assert_eq!(
+            out,
+            "{\"t_us\":1,\"node\":3,\"ev\":\"ev\",\"v\":9}\n\
+             {\"t_us\":2000000,\"node\":0,\"ev\":\"ev\",\"v\":1}\n"
+        );
+    }
+
+    #[test]
+    fn buffer_flushes_at_threshold_not_per_event() {
+        // Shared sink that counts write calls.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Clone, Default)]
+        struct CountingSink(Rc<RefCell<(usize, usize)>>); // (writes, bytes)
+        impl io::Write for CountingSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let mut s = self.0.borrow_mut();
+                s.0 += 1;
+                s.1 += buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = CountingSink::default();
+        let stats = Rc::clone(&sink.0);
+        let mut rec = TraceRecorder::new(sink);
+        for i in 0..1000 {
+            rec.record(SimTime::from_nanos(i), NodeId::new(0), Ev(i as u32));
+        }
+        let writes_before_finish = stats.borrow().0;
+        assert!(
+            writes_before_finish < 10,
+            "expected coarse flushes, got {writes_before_finish} writes"
+        );
+        rec.finish().unwrap();
+        assert!(stats.borrow().1 > 1000 * 30, "all bytes reached the sink");
+    }
+
+    #[test]
+    fn drop_flushes_best_effort() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Clone, Default)]
+        struct SharedSink(Rc<RefCell<Vec<u8>>>);
+        impl io::Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = SharedSink::default();
+        let bytes = Rc::clone(&sink.0);
+        {
+            let mut rec = TraceRecorder::new(sink);
+            rec.record(SimTime::ZERO, NodeId::new(1), Ev(5));
+        } // dropped without finish()
+        assert!(!bytes.borrow().is_empty());
+    }
+
+    #[test]
+    fn write_errors_are_sticky_and_reported() {
+        struct FailingSink;
+        impl io::Write for FailingSink {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut rec = TraceRecorder::new(FailingSink);
+        // Enough events to cross the flush threshold and hit the error.
+        for i in 0..3000 {
+            rec.record(SimTime::from_nanos(i), NodeId::new(0), Ev(0));
+        }
+        assert!(rec.finish().is_err());
+    }
+}

@@ -9,13 +9,21 @@
 //! over the unbroken overlay, then — once the maintenance protocols repair
 //! the overlay and the tree — at full speed again.
 //!
+//! The run doubles as a tour of the observability stack: the windowed
+//! `FnRecorder` aggregate is composed (via the tuple recorder) with a
+//! JSONL `TraceRecorder` streaming every causal event to disk and an
+//! online `InvariantOracle` checking protocol invariants as they happen;
+//! at the end the per-node `ProtocolCounters` are aggregated next to the
+//! kernel counters.
+//!
 //! Run with: `cargo run --release -p gocast-examples --bin monitoring_events`
 
 use std::time::Duration;
 
 use gocast::{GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode, MsgId};
+use gocast_analysis::InvariantOracle;
 use gocast_net::{synthetic_king, SyntheticKingConfig};
-use gocast_sim::{FnRecorder, NodeId, SimBuilder, SimTime};
+use gocast_sim::{FnRecorder, NodeId, SimBuilder, SimTime, TraceRecorder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,11 +70,19 @@ fn main() {
         _ => {}
     });
 
+    // Compose the windowed aggregate with a causal trace sink and the
+    // online invariant oracle — the tuple recorder fans every event out.
+    let trace_path = std::env::temp_dir().join("monitoring_events_trace.jsonl");
+    let trace = TraceRecorder::create(&trace_path).expect("trace file");
+    let oracle = InvariantOracle::for_protocol(&GoCastConfig::default());
+
     let mut boot = gocast::bootstrap_random_graph(n, 3, 11);
-    let mut sim = SimBuilder::new(net).seed(11).build_with(recorder, |id| {
-        let (links, members) = boot(id);
-        GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
-    });
+    let mut sim = SimBuilder::new(net)
+        .seed(11)
+        .build_with((recorder, (trace, oracle)), |id| {
+            let (links, members) = boot(id);
+            GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+        });
 
     // Warm up the overlay before the stream starts.
     sim.run_until(SimTime::from_secs(60));
@@ -136,4 +152,28 @@ fn main() {
         .filter(|&id| !sim.node(id).is_root() && sim.node(id).tree_parent().is_none())
         .count();
     println!("tree repaired: {} live agents currently detached", detached);
+
+    // The observability stack's view of the same run.
+    let totals = gocast::snapshot(&sim).total_counters();
+    println!("\nprotocol counters (fabric total): {totals}");
+    println!("kernel: {}", sim.kernel_stats());
+    let rec = sim.recorder_mut();
+    rec.1 .1.finish();
+    let (trace, oracle) = (&rec.1 .0, &rec.1 .1);
+    println!(
+        "causal trace: {} events streamed to {}",
+        trace.lines(),
+        trace_path.display()
+    );
+    if oracle.is_clean() {
+        println!(
+            "invariant oracle: clean over {} records",
+            oracle.records_checked()
+        );
+    } else {
+        println!("invariant oracle: {} VIOLATIONS", oracle.violations().len());
+        for v in oracle.violations().iter().take(10) {
+            println!("  {v}");
+        }
+    }
 }

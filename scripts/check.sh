@@ -19,4 +19,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> traced smoke experiment + invariant oracle"
+# A small traced GoCast run whose JSONL trace is then reconstructed and
+# checked by the invariant oracle; the subcommand exits nonzero on any
+# violation or unreconstructable dissemination tree.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run --release -q -p gocast-experiments -- trace --quick --nodes 64 \
+    --messages 20 --no-csv --trace-out "$TRACE_DIR/smoke.jsonl"
+
 echo "All checks passed."

@@ -169,6 +169,84 @@ fn repeated_chaos_seeds_are_deterministic() {
     assert_eq!(run(31), run(31));
 }
 
+/// The invariant oracle must flag corrupted traces: a delivery that
+/// precedes the origin's injection and a duplicate delivery spliced into
+/// an otherwise valid synthetic JSONL trace.
+#[test]
+fn oracle_flags_injected_trace_violations() {
+    use gocast_analysis::trace::{scan_trace, InvariantOracle, ViolationKind};
+
+    let trace = "\
+{\"t_us\":500,\"node\":3,\"ev\":\"delivered\",\"origin\":0,\"seq\":1,\"from\":0,\"hop\":1,\"via\":\"tree\"}\n\
+{\"t_us\":1000,\"node\":0,\"ev\":\"injected\",\"origin\":0,\"seq\":1}\n\
+{\"t_us\":1200,\"node\":1,\"ev\":\"delivered\",\"origin\":0,\"seq\":1,\"from\":0,\"hop\":1,\"via\":\"tree\"}\n\
+{\"t_us\":1300,\"node\":2,\"ev\":\"delivered\",\"origin\":0,\"seq\":1,\"from\":1,\"hop\":2,\"via\":\"tree\"}\n\
+{\"t_us\":1400,\"node\":1,\"ev\":\"delivered\",\"origin\":0,\"seq\":1,\"from\":2,\"hop\":3,\"via\":\"pull\"}\n\
+{\"t_us\":1500,\"node\":2,\"ev\":\"pull_requested\",\"origin\":0,\"seq\":1,\"to\":1}\n";
+
+    let mut oracle = InvariantOracle::default();
+    let records = scan_trace(trace.as_bytes(), |r| oracle.check(&r)).unwrap();
+    oracle.finish();
+    assert_eq!(records, 6);
+    let kinds: Vec<ViolationKind> = oracle.violations().iter().map(|v| v.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ViolationKind::DeliveryBeforeSend, // node 3 delivered at 500 < inject 1000
+            ViolationKind::DuplicateDelivery,  // node 1 delivered twice
+            ViolationKind::PullAfterDelivery,  // node 2 pulled after delivering
+        ],
+        "violations: {:#?}",
+        oracle.violations()
+    );
+}
+
+/// Property: clean 64-node runs — warmup, churnless dissemination, drain —
+/// satisfy every protocol invariant, across seeds, with the oracle riding
+/// the simulation online as a recorder.
+#[test]
+fn clean_runs_produce_zero_violations() {
+    use gocast_analysis::InvariantOracle;
+    use gocast_net::{synthetic_king, SyntheticKingConfig};
+    use gocast_sim::SimBuilder;
+
+    for seed in [7u64, 21, 1024] {
+        let n = 64;
+        let cfg = GoCastConfig::default();
+        let net = synthetic_king(
+            n,
+            &SyntheticKingConfig {
+                sites: n,
+                seed: seed ^ 0xABCD,
+                ..Default::default()
+            },
+        );
+        let mut boot = gocast::bootstrap_random_graph(n, cfg.c_degree() / 2, seed);
+        let oracle = InvariantOracle::for_protocol(&cfg);
+        let mut sim = SimBuilder::new(net).seed(seed).build_with(oracle, |id| {
+            let (links, members) = boot(id);
+            gocast::GoCastNode::with_initial_links(id, cfg.clone(), links, members)
+        });
+        sim.run_for(Duration::from_secs(40));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let live: Vec<NodeId> = sim.alive_nodes().collect();
+            let src = live[rng.gen_range(0..live.len())];
+            sim.command_now(src, GoCastCommand::Multicast);
+            sim.run_for(Duration::from_millis(200));
+        }
+        sim.run_for(Duration::from_secs(30));
+        let oracle = sim.recorder_mut();
+        oracle.finish();
+        assert!(
+            oracle.records_checked() > 5_000,
+            "seed {seed}: run too quiet ({})",
+            oracle.records_checked()
+        );
+        assert!(oracle.is_clean(), "seed {seed}: {:#?}", oracle.violations());
+    }
+}
+
 /// Regression guard: chaos must not starve the recorder of events.
 #[test]
 fn chaos_emits_link_and_delivery_events() {

@@ -176,7 +176,7 @@ proptest! {
         let degrees = DegreeInfo { d_rand: degs.0, d_near: degs.1, t_rand: degs.2, t_near: degs.3 };
         let id = MsgId::new(NodeId::new(origin), seq);
         let msg = match variant {
-            0 => GoCastMsg::Data { id, age_us: age, size },
+            0 => GoCastMsg::Data { id, age_us: age, hop: seq % 64, size },
             1 => GoCastMsg::Gossip {
                 ids: ids.iter().map(|&(o, s, a)| (MsgId::new(NodeId::new(o), s), a)).collect(),
                 members: vec![(NodeId::new(origin), coords.clone())],
