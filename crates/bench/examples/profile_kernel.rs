@@ -1,0 +1,31 @@
+//! Standalone reproduction of the `kernel/events_per_steady_second_128`
+//! benchmark workload, for running under a profiler (`gprofng collect app`).
+
+use std::time::Duration;
+
+use gocast::{GoCastConfig, GoCastNode};
+use gocast_net::{synthetic_king, SyntheticKingConfig};
+use gocast_sim::{SimBuilder, SimTime};
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let mut boot = gocast::bootstrap_random_graph(128, 3, 9);
+    let net = synthetic_king(
+        128,
+        &SyntheticKingConfig {
+            sites: 128,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let mut sim = SimBuilder::new(net).seed(9).build(|id| {
+        let (links, members) = boot(id);
+        GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+    });
+    sim.run_until(SimTime::from_secs(30));
+    sim.run_for(Duration::from_secs(secs));
+    println!("{}", sim.kernel_stats());
+}

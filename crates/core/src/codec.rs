@@ -115,7 +115,7 @@ impl<'a> Reader<'a> {
     }
     fn coords(&mut self) -> Result<LandmarkVector, DecodeError> {
         let n = self.u32()? as usize;
-        if n > 1024 {
+        if n > gocast_net::MAX_LANDMARKS {
             return Err(DecodeError::BadTag(255)); // implausible landmark count
         }
         let mut v = LandmarkVector::unknown();
@@ -315,6 +315,63 @@ pub fn encode(msg: &GoCastMsg) -> Vec<u8> {
     w.0
 }
 
+/// Encoded size of a landmark vector: count word + one `u32` per slot.
+#[inline]
+fn coords_len(c: &LandmarkVector) -> usize {
+    4 + 4 * c.len()
+}
+
+/// Exact length of [`encode`]`(msg)` computed arithmetically, without
+/// building the buffer.
+///
+/// This is the hot-path companion to [`encode`]: traffic accounting needs
+/// the wire size of every message sent, and calling `encode(msg).len()`
+/// there would heap-allocate a `Vec<u8>` per send. The format uses no
+/// varints precisely so this stays a closed-form sum; the
+/// `encoded_len_matches_encode_for_every_variant` property test pins the
+/// two functions together.
+pub fn encoded_len(msg: &GoCastMsg) -> usize {
+    // Field sizes: tag 1, NodeId 4, MsgId 8, u64 8, u32 4, DegreeInfo 8
+    // (four u16s), ProbeKind 3 (tag + u16 argument).
+    match msg {
+        GoCastMsg::Data { .. } => 25,
+        GoCastMsg::Gossip {
+            ids,
+            members,
+            coords,
+            ..
+        } => {
+            1 + 4
+                + 16 * ids.len()
+                + 4
+                + members
+                    .iter()
+                    .map(|(_, c)| 4 + coords_len(c))
+                    .sum::<usize>()
+                + coords_len(coords)
+                + 8
+        }
+        GoCastMsg::PullRequest { ids } => 1 + 4 + 8 * ids.len(),
+        GoCastMsg::JoinRequest => 1,
+        GoCastMsg::JoinReply { members } => {
+            1 + 4
+                + members
+                    .iter()
+                    .map(|(_, c)| 4 + coords_len(c))
+                    .sum::<usize>()
+        }
+        GoCastMsg::Ping { .. } => 12,
+        GoCastMsg::Pong { coords, .. } => 28 + coords_len(coords),
+        GoCastMsg::LinkRequest { .. } => 19,
+        GoCastMsg::LinkAccept { .. } => 10,
+        GoCastMsg::LinkReject { .. } => 2,
+        GoCastMsg::LinkDrop { .. } => 3,
+        GoCastMsg::ConnectTo { .. } => 5,
+        GoCastMsg::TreeAd { .. } => 21,
+        GoCastMsg::ParentSelect { .. } => 2,
+    }
+}
+
 /// Decodes a message body produced by [`encode`].
 ///
 /// # Errors
@@ -442,10 +499,10 @@ mod tests {
                     (MsgId::new(NodeId::new(4), 0), 0),
                 ],
                 members: vec![
-                    (NodeId::new(9), coords.clone()),
+                    (NodeId::new(9), coords),
                     (NodeId::new(2), LandmarkVector::unknown()),
                 ],
-                coords: coords.clone(),
+                coords,
                 degrees: deg,
             },
             GoCastMsg::PullRequest {
@@ -453,7 +510,7 @@ mod tests {
             },
             GoCastMsg::JoinRequest,
             GoCastMsg::JoinReply {
-                members: vec![(NodeId::new(5), coords.clone())],
+                members: vec![(NodeId::new(5), coords)],
             },
             GoCastMsg::Ping {
                 kind: ProbeKind::Landmark(3),
@@ -499,6 +556,133 @@ mod tests {
             GoCastMsg::ParentSelect { selected: true },
             GoCastMsg::ParentSelect { selected: false },
         ]
+    }
+
+    fn arb_coords(rng: &mut proptest::TestRng) -> LandmarkVector {
+        use rand::Rng;
+        let n = rng.gen_range(0..5usize);
+        LandmarkVector::from_rtts(
+            (0..n).map(|_| std::time::Duration::from_micros(rng.gen_range(0..1_000_000u64))),
+        )
+    }
+
+    /// A random instance of variant `variant` (0..14, one per message kind).
+    fn arb_msg(variant: u8, rng: &mut proptest::TestRng) -> GoCastMsg {
+        use rand::{Rng, RngCore};
+        fn id(rng: &mut proptest::TestRng) -> MsgId {
+            MsgId::new(
+                NodeId::new(rng.gen_range(0..1000u32)),
+                rng.next_u64() as u32,
+            )
+        }
+        fn deg(rng: &mut proptest::TestRng) -> DegreeInfo {
+            DegreeInfo {
+                d_rand: rng.next_u64() as u16,
+                d_near: rng.next_u64() as u16,
+                t_rand: rng.next_u64() as u16,
+                t_near: rng.next_u64() as u16,
+            }
+        }
+        fn kind(rng: &mut proptest::TestRng) -> LinkKind {
+            if rng.gen_bool(0.5) {
+                LinkKind::Random
+            } else {
+                LinkKind::Nearby
+            }
+        }
+        fn probe(rng: &mut proptest::TestRng) -> ProbeKind {
+            match rng.gen_range(0..3u8) {
+                0 => ProbeKind::Landmark(rng.next_u64() as u16),
+                1 => ProbeKind::Candidate,
+                _ => ProbeKind::LinkMeasure,
+            }
+        }
+        match variant {
+            0 => GoCastMsg::Data {
+                id: id(rng),
+                age_us: rng.next_u64(),
+                hop: rng.next_u64() as u32,
+                size: rng.gen_range(0..65536u32),
+            },
+            1 => GoCastMsg::Gossip {
+                ids: (0..rng.gen_range(0..8usize))
+                    .map(|_| (id(rng), rng.next_u64()))
+                    .collect(),
+                members: (0..rng.gen_range(0..8usize))
+                    .map(|_| (NodeId::new(rng.gen_range(0..1000u32)), arb_coords(rng)))
+                    .collect(),
+                coords: arb_coords(rng),
+                degrees: deg(rng),
+            },
+            2 => GoCastMsg::PullRequest {
+                ids: (0..rng.gen_range(0..8usize)).map(|_| id(rng)).collect(),
+            },
+            3 => GoCastMsg::JoinRequest,
+            4 => GoCastMsg::JoinReply {
+                members: (0..rng.gen_range(0..8usize))
+                    .map(|_| (NodeId::new(rng.gen_range(0..1000u32)), arb_coords(rng)))
+                    .collect(),
+            },
+            5 => GoCastMsg::Ping {
+                kind: probe(rng),
+                sent_at_us: rng.next_u64(),
+            },
+            6 => GoCastMsg::Pong {
+                kind: probe(rng),
+                sent_at_us: rng.next_u64(),
+                degrees: deg(rng),
+                max_nearby_rtt_us: rng.next_u64(),
+                coords: arb_coords(rng),
+            },
+            7 => GoCastMsg::LinkRequest {
+                kind: kind(rng),
+                rtt_us: if rng.gen_bool(0.5) {
+                    Some(rng.next_u64())
+                } else {
+                    None
+                },
+                degrees: deg(rng),
+            },
+            8 => GoCastMsg::LinkAccept {
+                kind: kind(rng),
+                degrees: deg(rng),
+            },
+            9 => GoCastMsg::LinkReject { kind: kind(rng) },
+            10 => GoCastMsg::LinkDrop {
+                kind: kind(rng),
+                reason: DropReason::ALL[rng.gen_range(0..DropReason::ALL.len())],
+            },
+            11 => GoCastMsg::ConnectTo {
+                target: NodeId::new(rng.gen_range(0..1000u32)),
+            },
+            12 => GoCastMsg::TreeAd {
+                root: NodeId::new(rng.gen_range(0..1000u32)),
+                epoch: rng.next_u64() as u32,
+                seq: rng.next_u64() as u32,
+                dist_us: rng.next_u64(),
+            },
+            _ => GoCastMsg::ParentSelect {
+                selected: rng.gen_bool(0.5),
+            },
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_every_variant() {
+        use proptest::prelude::*;
+        proptest::run_cases("encoded_len_matches_encode_for_every_variant", |rng| {
+            for variant in 0..14u8 {
+                let msg = arb_msg(variant, rng);
+                let buf = encode(&msg);
+                prop_assert_eq!(
+                    encoded_len(&msg),
+                    buf.len(),
+                    "encoded_len disagrees with encode for {:?}",
+                    msg
+                );
+            }
+            Ok(())
+        });
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub struct GoCastConfig {
     /// no message IDs to report (keeps membership and liveness flowing).
     pub idle_gossip_interval: Duration,
     /// Number of landmark nodes used for latency estimation (the first
-    /// `landmark_count` node ids act as landmarks).
+    /// `landmark_count` node ids act as landmarks). Effectively capped at
+    /// `gocast_net::MAX_LANDMARKS`: coordinates are stored inline, and
+    /// probing clamps to that many slots.
     pub landmark_count: usize,
     /// Wire size of a multicast payload in bytes (accounting only).
     pub payload_size: u32,

@@ -231,7 +231,7 @@ impl GoCastNode {
 
         let members = self.pick_gossip_members(ctx);
         let degrees = self.degrees();
-        let coords = self.coords.clone();
+        let coords = self.coords;
         if let Some(n) = self.neighbors.get_mut(&peer) {
             n.last_gossip_sent = now;
         }
@@ -289,7 +289,7 @@ impl GoCastNode {
             })
             .collect();
         // Introduce ourselves too (address + coordinates).
-        out.push((self.id, self.coords.clone()));
+        out.push((self.id, self.coords));
         out
     }
 

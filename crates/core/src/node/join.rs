@@ -20,7 +20,13 @@ impl GoCastNode {
     /// `landmark_count` ids), staggered a little to avoid a thundering
     /// herd at t = 0.
     pub(crate) fn start_landmark_probing(&mut self, ctx: &mut Ctx<'_, Self>) {
-        let count = self.cfg.landmark_count.min(ctx.node_count());
+        // Coordinates store at most MAX_LANDMARKS slots inline; larger
+        // configured counts are clamped rather than overflowing.
+        let count = self
+            .cfg
+            .landmark_count
+            .min(gocast_net::MAX_LANDMARKS)
+            .min(ctx.node_count());
         for i in 0..count {
             if NodeId::new(i as u32) == self.id {
                 self.coords.set(i, std::time::Duration::ZERO);
@@ -71,7 +77,7 @@ impl GoCastNode {
                 (m, coords)
             })
             .collect();
-        members.push((self.id, self.coords.clone()));
+        members.push((self.id, self.coords));
         ctx.send(from, GoCastMsg::JoinReply { members });
         // Learn about the joiner too.
         self.view.insert(from, ctx.rng());

@@ -139,7 +139,7 @@ impl GoCastNode {
     /// fashion").
     fn next_probe_candidate(&mut self, ctx: &mut Ctx<'_, Self>) -> Option<NodeId> {
         if !self.probe_queue_built && !self.coords.is_empty() && !self.view.is_empty() {
-            let my = self.coords.clone();
+            let my = self.coords;
             let mut q: Vec<(u64, NodeId)> = self
                 .view
                 .iter()
@@ -314,7 +314,7 @@ impl GoCastNode {
     ) {
         let degrees = self.degrees();
         let max_nearby_rtt_us = self.max_nearby_rtt_us();
-        let coords = self.coords.clone();
+        let coords = self.coords;
         ctx.send(
             from,
             GoCastMsg::Pong {

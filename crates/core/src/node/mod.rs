@@ -15,12 +15,12 @@ mod maintenance;
 mod neighbors;
 mod tree;
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use gocast_membership::MemberView;
 use gocast_net::LandmarkVector;
-use gocast_sim::{Ctx, NodeId, Protocol, SimTime, Timer};
+use gocast_sim::{Ctx, FxHashMap, NodeId, Protocol, SimTime, Timer};
 use rand::Rng;
 
 use crate::config::GoCastConfig;
@@ -116,13 +116,13 @@ pub struct GoCastNode {
     pub(crate) initial_members: Vec<NodeId>,
     pub(crate) view: MemberView,
     pub(crate) coords: LandmarkVector,
-    pub(crate) coord_cache: HashMap<NodeId, LandmarkVector>,
+    pub(crate) coord_cache: FxHashMap<NodeId, LandmarkVector>,
     pub(crate) neighbors: BTreeMap<NodeId, Neighbor>,
     pub(crate) pending_link: Option<PendingLink>,
     pub(crate) pending_rand_link: Option<PendingLink>,
     /// Next multicast sequence number.
     pub(crate) next_seq: u32,
-    pub(crate) store: HashMap<MsgId, Stored>,
+    pub(crate) store: FxHashMap<MsgId, Stored>,
     /// Reception order, for windowed gossip construction.
     pub(crate) recent: VecDeque<(MsgId, SimTime)>,
     pub(crate) pending_pulls: BTreeMap<MsgId, Pending>,
@@ -210,12 +210,12 @@ impl GoCastNode {
             initial_members: members,
             view,
             coords: LandmarkVector::unknown(),
-            coord_cache: HashMap::new(),
+            coord_cache: FxHashMap::default(),
             neighbors: BTreeMap::new(),
             pending_link: None,
             pending_rand_link: None,
             next_seq: 0,
-            store: HashMap::new(),
+            store: FxHashMap::default(),
             recent: VecDeque::new(),
             pending_pulls: BTreeMap::new(),
             gossip_cursor: None,

@@ -156,57 +156,21 @@ pub enum GoCastMsg {
     },
 }
 
-impl GoCastMsg {
-    /// Encoded size of a landmark vector: count word + one `u32` per slot.
-    fn coords_bytes(c: &LandmarkVector) -> u32 {
-        4 + 4 * c.len() as u32
-    }
-}
-
 impl Wire for GoCastMsg {
     /// Exact on-the-wire size: the fixed transport header, the body as the
     /// binary codec in [`crate::encode`] produces it, and — for `Data` —
-    /// the payload bytes themselves. A property test asserts
+    /// the payload bytes themselves.
+    ///
+    /// Computed via [`crate::codec::encoded_len`], which is arithmetic and
+    /// allocation-free: this method runs once per simulated send, so it
+    /// must never build the actual encode buffer. Property tests pin
     /// `wire_size() == HEADER_BYTES + encode(self).len() + payload`.
     fn wire_size(&self) -> u32 {
-        HEADER_BYTES
-            + match self {
-                GoCastMsg::Data { size, .. } => 25 + size,
-                GoCastMsg::Gossip {
-                    ids,
-                    members,
-                    coords,
-                    ..
-                } => {
-                    1 + 4
-                        + 16 * ids.len() as u32
-                        + 4
-                        + members
-                            .iter()
-                            .map(|(_, c)| 4 + Self::coords_bytes(c))
-                            .sum::<u32>()
-                        + Self::coords_bytes(coords)
-                        + 8
-                }
-                GoCastMsg::PullRequest { ids } => 1 + 4 + 8 * ids.len() as u32,
-                GoCastMsg::JoinRequest => 1,
-                GoCastMsg::JoinReply { members } => {
-                    1 + 4
-                        + members
-                            .iter()
-                            .map(|(_, c)| 4 + Self::coords_bytes(c))
-                            .sum::<u32>()
-                }
-                GoCastMsg::Ping { .. } => 12,
-                GoCastMsg::Pong { coords, .. } => 28 + Self::coords_bytes(coords),
-                GoCastMsg::LinkRequest { .. } => 19,
-                GoCastMsg::LinkAccept { .. } => 10,
-                GoCastMsg::LinkReject { .. } => 2,
-                GoCastMsg::LinkDrop { .. } => 3,
-                GoCastMsg::ConnectTo { .. } => 5,
-                GoCastMsg::TreeAd { .. } => 21,
-                GoCastMsg::ParentSelect { .. } => 2,
-            }
+        let payload = match self {
+            GoCastMsg::Data { size, .. } => *size,
+            _ => 0,
+        };
+        HEADER_BYTES + crate::codec::encoded_len(self) as u32 + payload
     }
 
     fn class(&self) -> TrafficClass {

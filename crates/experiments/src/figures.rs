@@ -141,10 +141,16 @@ pub fn fig3(opts: &ExpOptions, fail_frac: f64) -> Vec<Table> {
     let mut t = delay_table();
     let mut gocast_mean = None;
     let mut gossip_mean = None;
-    for proto in protos {
+    // The five protocol runs are independent simulations; fan them across
+    // `--jobs` workers. Results come back in protocol order, so the table
+    // (and its CSV) is byte-identical to a serial run.
+    let results = crate::sweep::parallel_map(opts.effective_jobs(), protos.to_vec(), |_, proto| {
         let label = proto.label();
         eprintln!("  running {label} (fail = {fail_frac}) ...");
-        let stats = run_delay(opts, proto, fail_frac);
+        run_delay(opts, proto, fail_frac)
+    });
+    for stats in results {
+        let label = stats.protocol.clone();
         log_kernel(&stats.kernel);
         if !stats.per_node_avg.is_empty() {
             if label == "GoCast" {
@@ -177,15 +183,26 @@ pub fn fig3(opts: &ExpOptions, fail_frac: f64) -> Vec<Table> {
 /// Figure 4: GoCast delay at two system sizes, without and with 20%
 /// failures.
 pub fn fig4(opts: &ExpOptions, sizes: &[usize]) -> Vec<Table> {
+    // All (failure fraction, size) runs are independent; fan the whole
+    // grid across `--jobs` workers and stitch the tables back in order.
+    let combos: Vec<(f64, usize)> = [0.0, 0.2]
+        .iter()
+        .flat_map(|&fail| sizes.iter().map(move |&n| (fail, n)))
+        .collect();
+    let results = crate::sweep::parallel_map(opts.effective_jobs(), combos, |_, (fail, n)| {
+        let o = opts.clone().with_nodes(n);
+        eprintln!("  running GoCast n = {n}, fail = {fail} ...");
+        let mut stats = run_delay(&o, Proto::GoCast(GoCastConfig::default()), fail);
+        stats.protocol = format!("GoCast n={n}");
+        stats
+    });
+    let mut results = results.into_iter();
     let mut tables = Vec::new();
     for &fail in &[0.0, 0.2] {
         let mut t = delay_table();
-        for &n in sizes {
-            let o = opts.clone().with_nodes(n);
-            eprintln!("  running GoCast n = {n}, fail = {fail} ...");
-            let mut stats = run_delay(&o, Proto::GoCast(GoCastConfig::default()), fail);
+        for _ in sizes {
+            let stats = results.next().expect("one result per (fail, size) combo");
             log_kernel(&stats.kernel);
-            stats.protocol = format!("GoCast n={n}");
             t.row(delay_row(&stats));
         }
         println!(

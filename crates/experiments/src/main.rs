@@ -29,7 +29,9 @@
 //! Flags: `--quick` (reduced scale), `--nodes N`, `--seed S`,
 //! `--warmup SECS`, `--messages M`, `--rate R`, `--drain SECS`,
 //! `--out DIR`, `--no-csv`, `--trace-out PATH` (stream the causal JSONL
-//! trace of every run to PATH; any experiment accepts it).
+//! trace of every run to PATH; any experiment accepts it), `--jobs N`
+//! (fan independent runs across N worker threads; output is byte-identical
+//! to the default fully serial `--jobs 1`).
 
 use std::time::Duration;
 
@@ -38,7 +40,7 @@ use gocast_experiments::{figures, ExpOptions};
 fn usage() -> ! {
     eprintln!(
         "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|all> \
-         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH]"
+         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--jobs N]"
     );
     std::process::exit(2);
 }
@@ -46,6 +48,7 @@ fn usage() -> ! {
 fn parse_opts(args: &[String]) -> ExpOptions {
     let mut opts = ExpOptions::default();
     let mut explicit_nodes = None;
+    let mut explicit_jobs = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -77,6 +80,7 @@ fn parse_opts(args: &[String]) -> ExpOptions {
             "--out" => opts.out_dir = Some(take("--out").into()),
             "--no-csv" => opts.out_dir = None,
             "--trace-out" => opts.trace_out = Some(take("--trace-out").into()),
+            "--jobs" => explicit_jobs = Some(take("--jobs").parse().expect("--jobs")),
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -86,6 +90,9 @@ fn parse_opts(args: &[String]) -> ExpOptions {
     }
     if let Some(n) = explicit_nodes {
         opts.nodes = n;
+    }
+    if let Some(j) = explicit_jobs {
+        opts = opts.with_jobs(j);
     }
     opts
 }

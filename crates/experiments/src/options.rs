@@ -27,6 +27,12 @@ pub struct ExpOptions {
     /// When several runs happen in one process, the second and later
     /// traces go to `<stem>.<k>.<ext>` so no run clobbers another.
     pub trace_out: Option<PathBuf>,
+    /// Worker threads for multi-run experiments (`--jobs N`).
+    ///
+    /// Each simulation run is still single-threaded and seeded, so results
+    /// are identical at any job count; parallelism only changes which CPU
+    /// core a run lands on. The default of 1 keeps the fully serial path.
+    pub jobs: usize,
 }
 
 impl Default for ExpOptions {
@@ -41,6 +47,7 @@ impl Default for ExpOptions {
             drain: Duration::from_secs(40),
             out_dir: Some(PathBuf::from("results")),
             trace_out: None,
+            jobs: 1,
         }
     }
 }
@@ -61,6 +68,7 @@ impl ExpOptions {
             drain: Duration::from_secs(30),
             out_dir: None,
             trace_out: None,
+            jobs: 1,
         }
     }
 
@@ -74,6 +82,25 @@ impl ExpOptions {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The job count multi-run experiments should actually use.
+    ///
+    /// Tracing numbers its per-run output files in run-start order, so a
+    /// traced invocation is forced serial to keep file naming (and any
+    /// interleaving of trace streams) deterministic.
+    pub fn effective_jobs(&self) -> usize {
+        if self.trace_out.is_some() {
+            1
+        } else {
+            self.jobs.max(1)
+        }
     }
 
     /// Injection duration implied by `messages` and `rate`.
@@ -112,6 +139,19 @@ mod tests {
         assert_eq!(o.inject_duration(), Duration::from_secs(10));
         let q = ExpOptions::quick();
         assert_eq!(q.inject_duration(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn jobs_default_serial_and_trace_forces_serial() {
+        let o = ExpOptions::default();
+        assert_eq!(o.jobs, 1);
+        assert_eq!(o.effective_jobs(), 1);
+        let o = o.with_jobs(4);
+        assert_eq!(o.effective_jobs(), 4);
+        let mut traced = o.clone();
+        traced.trace_out = Some(PathBuf::from("t.jsonl"));
+        assert_eq!(traced.effective_jobs(), 1, "tracing forces serial");
+        assert_eq!(ExpOptions::default().with_jobs(0).jobs, 1, "clamped");
     }
 
     #[test]

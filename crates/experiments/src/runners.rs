@@ -398,6 +398,7 @@ mod tests {
             drain: Duration::from_secs(20),
             out_dir: None,
             trace_out: None,
+            jobs: 1,
         }
     }
 

@@ -1,15 +1,87 @@
-//! Multi-seed sweeps: every topology, bootstrap graph, and failure draw in
-//! this reproduction is seeded, so re-running an experiment across seeds
-//! quantifies how sensitive a result is to the random inputs — something
-//! the paper (single dataset, unspecified repetition count) cannot show.
+//! Parallel multi-run execution.
+//!
+//! Every topology, bootstrap graph, and failure draw in this reproduction
+//! is seeded, so independent simulation runs (different seeds, protocols,
+//! or system sizes) can be fanned across worker threads without changing
+//! any result: each run is still a single-threaded deterministic
+//! simulation, and [`parallel_map`] merges results back in submission
+//! order, so experiment output is **byte-identical** at any `--jobs`
+//! count (asserted by the `jobs_do_not_change_csv_output` test).
+//!
+//! [`sweep_seeds`] builds on this to re-run an experiment across
+//! consecutive seeds and summarize the scalar it returns — quantifying how
+//! sensitive a result is to the random inputs, something the paper
+//! (single dataset, unspecified repetition count) cannot show.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use gocast_analysis::Summary;
 
 use crate::options::ExpOptions;
 
+/// Applies `f` to every item, fanning work across at most `jobs` worker
+/// threads, and returns the results **in item order** regardless of which
+/// worker finished when.
+///
+/// `f` receives `(index, item)` and must be deterministic per item for
+/// output to be independent of `jobs`. With `jobs <= 1` (or a single
+/// item) everything runs inline on the caller's thread — the fully serial
+/// path, with no thread machinery at all.
+///
+/// Workers pull items from a shared queue, so long and short runs load-
+/// balance; there is no per-item thread spawn.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated).
+pub fn parallel_map<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let n_items = items.len();
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n_items);
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("queue lock").pop_front();
+                        match next {
+                            Some((i, item)) => out.push((i, f(i, item))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
 /// Runs `f(opts-with-seed)` for `seeds` consecutive seeds starting at the
-/// option set's base seed, in parallel threads, and summarizes the scalar
-/// it returns.
+/// option set's base seed — across `opts.jobs` worker threads — and
+/// summarizes the scalar it returns. Values are aggregated in seed order,
+/// so the summary is identical at any job count.
 ///
 /// `f` must be deterministic given the options (all our runners are).
 ///
@@ -17,7 +89,7 @@ use crate::options::ExpOptions;
 /// use gocast::GoCastConfig;
 /// use gocast_experiments::{runners, sweep::sweep_seeds, ExpOptions, Proto};
 ///
-/// let s = sweep_seeds(&ExpOptions::quick(), 5, |o| {
+/// let s = sweep_seeds(&ExpOptions::quick().with_jobs(4), 5, |o| {
 ///     runners::run_delay(o, Proto::GoCast(GoCastConfig::default()), 0.0)
 ///         .per_node_avg
 ///         .mean()
@@ -34,22 +106,10 @@ where
     F: Fn(&ExpOptions) -> f64 + Sync,
 {
     assert!(seeds > 0, "need at least one seed");
-    let mut values = vec![0.0f64; seeds as usize];
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..seeds)
-            .zip(values.iter_mut())
-            .map(|(i, slot)| {
-                let o = opts.clone().with_seed(opts.seed.wrapping_add(i));
-                scope.spawn(move || {
-                    *slot = f(&o);
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("sweep worker panicked");
-        }
-    });
+    let runs: Vec<ExpOptions> = (0..seeds)
+        .map(|i| opts.clone().with_seed(opts.seed.wrapping_add(i)))
+        .collect();
+    let values = parallel_map(opts.effective_jobs(), runs, |_, o| f(&o));
     Summary::from_values(&values)
 }
 
@@ -67,9 +127,50 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_preserves_item_order() {
+        // Deliberately uneven work so completion order differs from
+        // submission order; results must still come back sorted.
+        let items: Vec<u64> = (0..32).collect();
+        for jobs in [1, 2, 4, 7] {
+            let out = parallel_map(jobs, items.clone(), |i, v| {
+                if v % 5 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                assert_eq!(i as u64, v);
+                v * 10
+            });
+            assert_eq!(
+                out,
+                (0..32).map(|v| v * 10).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_oversubscribed() {
+        let out: Vec<u32> = parallel_map(8, Vec::<u32>::new(), |_, v| v);
+        assert!(out.is_empty());
+        let out = parallel_map(64, vec![1u32, 2], |_, v| v + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn sweep_is_identical_at_any_job_count() {
+        let serial = sweep_seeds(&ExpOptions::quick(), 6, |o| (o.seed * 3) as f64);
+        let parallel = sweep_seeds(&ExpOptions::quick().with_jobs(4), 6, |o| {
+            (o.seed * 3) as f64
+        });
+        assert_eq!(serial.mean, parallel.mean);
+        assert_eq!(serial.min, parallel.min);
+        assert_eq!(serial.max, parallel.max);
+    }
+
+    #[test]
     fn sweep_runs_real_protocol_across_seeds() {
-        // Tiny end-to-end sweep: GoCast mean delay over 2 topologies.
-        let mut opts = ExpOptions::quick();
+        // Tiny end-to-end sweep: GoCast mean delay over 2 topologies,
+        // exercising the threaded path.
+        let mut opts = ExpOptions::quick().with_jobs(2);
         opts.nodes = 32;
         opts.sites = 32;
         opts.warmup = std::time::Duration::from_secs(10);

@@ -1,0 +1,47 @@
+//! `--jobs N` must be a pure wall-clock optimization: fanning independent
+//! simulation runs across worker threads may not change a single output
+//! byte relative to the default serial path.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gocast_experiments::{figures, ExpOptions};
+
+fn tiny(out: PathBuf, jobs: usize) -> ExpOptions {
+    let mut o = ExpOptions::quick().with_jobs(jobs);
+    o.nodes = 32;
+    o.sites = 32;
+    o.warmup = Duration::from_secs(10);
+    o.messages = 3;
+    o.rate = 3.0;
+    o.drain = Duration::from_secs(10);
+    o.out_dir = Some(out);
+    o
+}
+
+#[test]
+fn jobs_do_not_change_csv_output() {
+    let base = std::env::temp_dir().join(format!("gocast_jobs_identity_{}", std::process::id()));
+    let serial_dir = base.join("serial");
+    let parallel_dir = base.join("parallel");
+    fs::create_dir_all(&serial_dir).unwrap();
+    fs::create_dir_all(&parallel_dir).unwrap();
+
+    // A fig3a-style sweep: five protocols, no failures.
+    figures::fig3(&tiny(serial_dir.clone(), 1), 0.0);
+    figures::fig3(&tiny(parallel_dir.clone(), 4), 0.0);
+
+    let serial = fs::read(serial_dir.join("fig3a.csv")).expect("serial CSV written");
+    let parallel = fs::read(parallel_dir.join("fig3a.csv")).expect("parallel CSV written");
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial,
+        parallel,
+        "--jobs 4 CSV differs from --jobs 1:\n--- jobs 1 ---\n{}\n--- jobs 4 ---\n{}",
+        String::from_utf8_lossy(&serial),
+        String::from_utf8_lossy(&parallel)
+    );
+
+    let _ = fs::remove_dir_all(&base);
+}

@@ -28,12 +28,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use gocast_sim::NodeId;
+use gocast_sim::{FxHashMap, NodeId};
 
 /// A bounded random partial view of system membership.
 ///
@@ -46,7 +44,7 @@ pub struct MemberView {
     owner: NodeId,
     capacity: usize,
     members: Vec<NodeId>,
-    index: HashMap<NodeId, usize>,
+    index: FxHashMap<NodeId, usize>,
     cursor: usize,
 }
 
@@ -63,7 +61,7 @@ impl MemberView {
             owner,
             capacity,
             members: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             cursor: 0,
         }
     }
@@ -282,7 +280,7 @@ mod tests {
     #[test]
     fn sampling_is_roughly_uniform() {
         let (v, mut r) = view_with(0, 32, &(1..=8).collect::<Vec<_>>());
-        let mut counts = HashMap::new();
+        let mut counts = std::collections::HashMap::new();
         for _ in 0..8000 {
             *counts.entry(v.sample(&mut r).unwrap()).or_insert(0u32) += 1;
         }

@@ -19,15 +19,38 @@ use serde::{Deserialize, Serialize};
 /// Default number of landmark nodes.
 pub const DEFAULT_LANDMARKS: usize = 8;
 
+/// Maximum number of landmark slots a [`LandmarkVector`] can hold.
+///
+/// Landmark vectors ride inside every gossip, pong, and membership entry,
+/// so they are stored inline (no heap indirection): cloning one is a plain
+/// memcpy and hot-path message construction performs no allocation for
+/// coordinates. The cap bounds the inline size; configurations requesting
+/// more landmarks are clamped to it.
+pub const MAX_LANDMARKS: usize = DEFAULT_LANDMARKS;
+
 /// A node's measured RTTs to the landmark set, in microseconds.
 ///
 /// An empty vector means "not yet measured"; estimation then fails and the
 /// caller falls back to an arbitrary ordering (exactly the cold-start
 /// behaviour of the paper's protocol, which refines by real RTT probes
 /// anyway).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Storage is a fixed inline array of [`MAX_LANDMARKS`] slots plus a
+/// length, so the type is `Copy` and never touches the heap. Unused slots
+/// hold `u32::MAX` ("unmeasured"), which keeps derived equality honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LandmarkVector {
-    rtt_us: Vec<u32>,
+    rtt_us: [u32; MAX_LANDMARKS],
+    len: u8,
+}
+
+impl Default for LandmarkVector {
+    fn default() -> Self {
+        LandmarkVector {
+            rtt_us: [u32::MAX; MAX_LANDMARKS],
+            len: 0,
+        }
+    }
 }
 
 impl LandmarkVector {
@@ -37,36 +60,46 @@ impl LandmarkVector {
     }
 
     /// Builds a vector from measured landmark RTTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields more than [`MAX_LANDMARKS`] values.
     pub fn from_rtts<I: IntoIterator<Item = Duration>>(rtts: I) -> Self {
-        LandmarkVector {
-            rtt_us: rtts
-                .into_iter()
-                .map(|d| d.as_micros().min(u32::MAX as u128) as u32)
-                .collect(),
+        let mut v = LandmarkVector::default();
+        for (i, d) in rtts.into_iter().enumerate() {
+            v.set(i, d);
         }
+        v
     }
 
     /// Number of landmarks measured.
     pub fn len(&self) -> usize {
-        self.rtt_us.len()
+        self.len as usize
     }
 
     /// Whether no landmarks have been measured yet.
     pub fn is_empty(&self) -> bool {
-        self.rtt_us.is_empty()
+        self.len == 0
     }
 
-    /// Records the RTT to landmark `i`, growing the vector as needed.
+    /// Records the RTT to landmark `i`, growing the length as needed
+    /// (intervening slots stay unmeasured).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= MAX_LANDMARKS`.
     pub fn set(&mut self, i: usize, rtt: Duration) {
-        if self.rtt_us.len() <= i {
-            self.rtt_us.resize(i + 1, u32::MAX);
-        }
+        assert!(
+            i < MAX_LANDMARKS,
+            "landmark index {i} exceeds MAX_LANDMARKS ({MAX_LANDMARKS})"
+        );
         self.rtt_us[i] = rtt.as_micros().min(u32::MAX as u128) as u32;
+        self.len = self.len.max(i as u8 + 1);
     }
 
     /// Whether every landmark slot up to `n` has been measured.
     pub fn is_complete(&self, n: usize) -> bool {
-        self.rtt_us.len() >= n && self.rtt_us[..n].iter().all(|&v| v != u32::MAX)
+        self.len() >= n && self.rtt_us[..n].iter().all(|&v| v != u32::MAX)
     }
 
     /// Raw RTT of landmark slot `i` in microseconds (`u32::MAX` =
@@ -76,7 +109,7 @@ impl LandmarkVector {
     ///
     /// Panics if `i >= self.len()`.
     pub fn rtt_us_at(&self, i: usize) -> u32 {
-        self.rtt_us[i]
+        self.rtt_us[..self.len()][i]
     }
 
     /// Estimates the RTT to a node with vector `other` via the triangular
@@ -98,7 +131,10 @@ impl LandmarkVector {
         let mut lower = 0u64;
         let mut upper = u64::MAX;
         let mut shared = false;
-        for (&a, &b) in self.rtt_us.iter().zip(&other.rtt_us) {
+        for (&a, &b) in self.rtt_us[..self.len()]
+            .iter()
+            .zip(&other.rtt_us[..other.len()])
+        {
             if a == u32::MAX || b == u32::MAX {
                 continue;
             }

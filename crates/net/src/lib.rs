@@ -32,6 +32,6 @@ mod king;
 mod matrix;
 
 pub use astopo::{geographic_site_assignment, AsTopology, LinkStress};
-pub use estimate::{LandmarkVector, DEFAULT_LANDMARKS};
+pub use estimate::{LandmarkVector, DEFAULT_LANDMARKS, MAX_LANDMARKS};
 pub use king::{king_like, synthetic_king, two_continents, SyntheticKingConfig};
 pub use matrix::SiteLatencyMatrix;

@@ -160,7 +160,7 @@ impl SimBuilder {
             recorder,
             stats,
             kernel: KernelStats::default(),
-            failed_links: std::collections::HashSet::new(),
+            failed_links: LinkSet::default(),
             started: false,
         }
     }
@@ -187,7 +187,7 @@ pub struct Sim<P: Protocol, R: Recorder<P::Event> = NullRecorder> {
     stats: TrafficStats,
     kernel: KernelStats,
     /// Currently failed links, as normalized `(min, max)` pairs.
-    failed_links: std::collections::HashSet<(NodeId, NodeId)>,
+    failed_links: LinkSet,
     started: bool,
 }
 
@@ -196,6 +196,36 @@ fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
         (a, b)
     } else {
         (b, a)
+    }
+}
+
+/// The set of currently failed links, as normalized `(min, max)` pairs.
+///
+/// Failure scenarios cut at most a handful of links, but the *membership
+/// check* sits on the per-delivery hot path, so the representation is a
+/// sorted `Vec` probed by binary search instead of a `HashSet`: the empty
+/// and tiny cases cost a length check plus at most a few comparisons, with
+/// none of SipHash's per-lookup hashing, and iteration order (hence any
+/// derived behaviour) is deterministic.
+#[derive(Debug, Default)]
+struct LinkSet(Vec<(NodeId, NodeId)>);
+
+impl LinkSet {
+    #[inline]
+    fn contains(&self, key: (NodeId, NodeId)) -> bool {
+        !self.0.is_empty() && self.0.binary_search(&key).is_ok()
+    }
+
+    fn insert(&mut self, key: (NodeId, NodeId)) {
+        if let Err(i) = self.0.binary_search(&key) {
+            self.0.insert(i, key);
+        }
+    }
+
+    fn remove(&mut self, key: (NodeId, NodeId)) {
+        if let Ok(i) = self.0.binary_search(&key) {
+            self.0.remove(i);
+        }
     }
 }
 
@@ -341,7 +371,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
 
     /// Restores a previously failed link.
     pub fn heal_link(&mut self, a: NodeId, b: NodeId) {
-        self.failed_links.remove(&link_key(a, b));
+        self.failed_links.remove(link_key(a, b));
     }
 
     /// Schedules a link cut at absolute time `at`.
@@ -360,7 +390,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
 
     /// Whether the path between `a` and `b` is currently cut.
     pub fn is_link_failed(&self, a: NodeId, b: NodeId) -> bool {
-        self.failed_links.contains(&link_key(a, b))
+        self.failed_links.contains(link_key(a, b))
     }
 
     /// Calls `on_start` on every alive node, once. Run methods call this
@@ -392,11 +422,16 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
     pub fn run_until(&mut self, deadline: SimTime) {
         let t0 = std::time::Instant::now();
         self.start();
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
+        loop {
+            let depth = self.queue.len();
+            if depth > self.kernel.queue_high_water {
+                self.kernel.queue_high_water = depth;
             }
-            self.step();
+            // Deadline test and pop share a single heap-top probe.
+            let Some(ev) = self.queue.pop_at_or_before(deadline) else {
+                break;
+            };
+            self.execute(ev);
         }
         debug_assert!(self.now <= deadline);
         self.now = deadline;
@@ -417,12 +452,18 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         let Some(ev) = self.queue.pop() else {
             return false;
         };
+        self.execute(ev);
+        true
+    }
+
+    /// Advances the clock to the event's timestamp and dispatches it.
+    fn execute(&mut self, ev: crate::queue::Scheduled<KernelEvent<P::Msg, P::Command>>) {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.kernel.events_processed += 1;
         match ev.payload {
             KernelEvent::Deliver { from, to, msg } => {
-                if !self.alive[to.index()] || self.failed_links.contains(&link_key(from, to)) {
+                if !self.alive[to.index()] || self.failed_links.contains(link_key(from, to)) {
                     self.kernel.messages_dropped += 1;
                     self.stats.record_drop_to_dead();
                 } else {
@@ -455,12 +496,14 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
                 }
             }
         }
-        true
     }
 
     fn with_ctx<F: FnOnce(&mut P, &mut Ctx<'_, P>)>(&mut self, node: NodeId, f: F) {
+        // Split borrows: the protocol instance and the context borrow
+        // disjoint fields of `self`, so the node stays in place — no
+        // whole-struct move in and out of the slot per dispatched event.
         let i = node.index();
-        let mut p = self.nodes[i].take().expect("reentrant handler dispatch");
+        let p = self.nodes[i].as_mut().expect("node exists");
         let mut ctx = Ctx::for_sim(
             node,
             self.now,
@@ -470,8 +513,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
             &mut self.recorder,
             &mut self.stats,
         );
-        f(&mut p, &mut ctx);
-        self.nodes[i] = Some(p);
+        f(p, &mut ctx);
     }
 
     fn dispatch_start(&mut self, node: NodeId) {

@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod hash;
 mod id;
 mod kernel;
 mod latency;
@@ -81,6 +82,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::NodeId;
 pub use kernel::{KernelStats, Sim, SimBuilder};
 pub use latency::{FixedLatency, HashedLatency, LatencyModel};

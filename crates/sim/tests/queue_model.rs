@@ -1,0 +1,88 @@
+//! Model-based property test for [`gocast_sim::EventQueue`].
+//!
+//! The production queue is a 4-ary indexed heap with a payload slab; the
+//! model below is the simple `BinaryHeap<Reverse<(at, seq, payload)>>`
+//! the simulator originally shipped with. Under randomized interleavings
+//! of schedules and pops — including bursts of equal timestamps, which
+//! must pop in insertion order — the two must agree on every observable:
+//! pop results (time, sequence, payload), `peek_time`, `len`, and
+//! `scheduled_total`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use std::time::Duration;
+
+use gocast_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Reference implementation: ordered exactly like the original
+/// `BinaryHeap<Scheduled<T>>` (min on `(at, seq)`).
+#[derive(Default)]
+struct ModelQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn schedule(&mut self, at: SimTime, payload: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, payload)));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, u64)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+}
+
+proptest! {
+    #[test]
+    fn queue_matches_binary_heap_model(seed in 0u64..1_000_000, ops in 50usize..400) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut q = EventQueue::new();
+        let mut model = ModelQueue::default();
+        // A monotone lower bound mimicking simulated time, so schedules
+        // cluster realistically; bursts share one timestamp to stress the
+        // FIFO tie-break.
+        let mut now = SimTime::ZERO;
+        let mut payload = 0u64;
+        for _ in 0..ops {
+            if rng.gen_bool(0.6) {
+                // Schedule a burst of 1..4 events, often at equal times.
+                let at = now + Duration::from_nanos(rng.gen_range(0..50));
+                for _ in 0..rng.gen_range(1..4usize) {
+                    q.schedule(at, payload);
+                    model.schedule(at, payload);
+                    payload += 1;
+                }
+            } else {
+                let got = q.pop().map(|s| (s.at, s.seq, s.payload));
+                let want = model.pop();
+                prop_assert_eq!(got, want, "pop diverged from model");
+                if let Some((at, _, _)) = want {
+                    now = now.max(at);
+                }
+            }
+            prop_assert_eq!(q.peek_time(), model.peek_time());
+            prop_assert_eq!(q.len(), model.heap.len());
+            prop_assert_eq!(q.scheduled_total(), model.next_seq);
+        }
+        // Drain: the full remaining order must match, including FIFO
+        // runs of equal timestamps.
+        loop {
+            let got = q.pop().map(|s| (s.at, s.seq, s.payload));
+            let want = model.pop();
+            prop_assert_eq!(got, want, "drain diverged from model");
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Bench-regression guard for the kernel hot path.
+#
+# Usage: scripts/bench_compare.sh [--update]
+#
+# Reads the committed kernel-throughput baseline from BENCH_kernel.json
+# (`kernel/events_per_steady_second_128`), re-runs the benchmark suite
+# (which rewrites BENCH_kernel.json), and fails if fresh throughput fell
+# more than 25% below the baseline. With `--update` the regenerated file
+# is kept as the new committed baseline; without it, the committed
+# baseline is restored afterwards so a plain check leaves the tree clean.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_ID="kernel/events_per_steady_second_128"
+FILE="BENCH_kernel.json"
+MAX_REGRESSION=0.25
+
+rate_from() {
+    # Extracts rate_per_sec for $BENCH_ID from a BENCH_kernel.json file.
+    awk -v id="$BENCH_ID" '
+        index($0, "\"" id "\"") {
+            if (match($0, /"rate_per_sec": *[0-9.]+/)) {
+                print substr($0, RSTART + 16, RLENGTH - 16)
+            }
+        }' "$1"
+}
+
+if [[ ! -f "$FILE" ]]; then
+    echo "error: no committed $FILE to compare against" >&2
+    exit 1
+fi
+
+baseline=$(rate_from "$FILE")
+if [[ -z "$baseline" ]]; then
+    echo "error: $BENCH_ID not found in committed $FILE" >&2
+    exit 1
+fi
+
+keep_baseline=$(mktemp)
+cp "$FILE" "$keep_baseline"
+
+echo "==> baseline $BENCH_ID: $baseline events/s"
+echo "==> running cargo bench -p gocast-bench (rewrites $FILE)"
+cargo bench -p gocast-bench
+
+fresh=$(rate_from "$FILE")
+if [[ -z "$fresh" ]]; then
+    cp "$keep_baseline" "$FILE"; rm -f "$keep_baseline"
+    echo "error: $BENCH_ID missing from fresh bench output" >&2
+    exit 1
+fi
+
+echo "==> fresh    $BENCH_ID: $fresh events/s"
+
+verdict=$(awk -v old="$baseline" -v new="$fresh" -v max="$MAX_REGRESSION" 'BEGIN {
+    change = (new - old) / old
+    printf "change %+.1f%%\n", change * 100
+    exit (change < -max) ? 1 : 0
+}') && ok=0 || ok=1
+echo "==> $verdict (fail threshold: -$(awk -v m="$MAX_REGRESSION" 'BEGIN{printf "%.0f", m*100}')%)"
+
+if [[ "${1:-}" == "--update" ]]; then
+    rm -f "$keep_baseline"
+    echo "==> kept regenerated $FILE as new baseline"
+else
+    cp "$keep_baseline" "$FILE"
+    rm -f "$keep_baseline"
+fi
+
+if [[ $ok -ne 0 ]]; then
+    echo "FAIL: $BENCH_ID regressed more than 25% against the committed baseline" >&2
+    exit 1
+fi
+echo "Bench guard passed."

@@ -179,8 +179,8 @@ proptest! {
             0 => GoCastMsg::Data { id, age_us: age, hop: seq % 64, size },
             1 => GoCastMsg::Gossip {
                 ids: ids.iter().map(|&(o, s, a)| (MsgId::new(NodeId::new(o), s), a)).collect(),
-                members: vec![(NodeId::new(origin), coords.clone())],
-                coords: coords.clone(),
+                members: vec![(NodeId::new(origin), coords)],
+                coords,
                 degrees,
             },
             2 => GoCastMsg::PullRequest {
