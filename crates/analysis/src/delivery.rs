@@ -52,7 +52,7 @@ struct NodeAgg {
     max_delay: Duration,
 }
 
-/// Streaming per-node delivery aggregation (see the [module docs](self)).
+/// Streaming per-node delivery aggregation.
 ///
 /// Holds O(nodes + messages) state regardless of how many deliveries the
 /// run produces; every statistic is folded in online via
@@ -297,8 +297,8 @@ impl MetricsRecorder {
     }
 
     /// Streaming distribution over every (node, message) delivery delay
-    /// (replaces the former `delay_cdf()`; see the
-    /// [module docs](self#migration-from-buffered-recording)).
+    /// (replaces the former `delay_cdf()` — see the "migration from
+    /// buffered recording" notes at the top of this source file).
     pub fn delay_histogram(&self) -> &DelayHistogram {
         self.delivery.delay_histogram()
     }

@@ -10,6 +10,8 @@
 //!   in O(sim seconds / window) memory;
 //! - [`MetricsRecorder`] — the composite of the two that every experiment
 //!   runner uses;
+//! - [`RecoveryTracker`] / [`OrphanTracker`] — sliding-window delivery
+//!   ratios and orphaned-node durations for fault-scenario (chaos) runs;
 //! - [`Cdf`] / [`DelayHistogram`] / [`Histogram`] — distribution
 //!   statistics (delay CDFs of Figures 3–4, degree distributions of
 //!   Figure 5(a)); `DelayHistogram` is the bounded-memory streaming
@@ -29,6 +31,7 @@
 
 mod delivery;
 mod graph;
+mod recovery;
 mod stats;
 mod table;
 mod timeseries;
@@ -38,6 +41,7 @@ pub use delivery::{DeliveryTracker, LinkChurnSelect, MetricsRecorder};
 pub use graph::{
     bfs_distances, component_sizes, diameter, largest_component_fraction, mean_path_length,
 };
+pub use recovery::{OrphanTracker, RecoveryTracker, WindowRatio};
 pub use stats::{Cdf, DelayHistogram, Histogram, Summary};
 pub use table::{fmt_ms, fmt_secs, Table};
 pub use timeseries::TimeSeriesRecorder;

@@ -56,8 +56,19 @@ impl GoCastNode {
     }
 
     /// Runtime join: ask `contact` for its member list.
+    ///
+    /// Also handles *re*join after a graceful leave, which froze
+    /// maintenance and left the old tree attachment behind: both are
+    /// re-armed here, and the heartbeat clock restarts so the returning
+    /// node doesn't read its own absence as root silence and hijack the
+    /// root role on its first root check.
     pub(crate) fn start_join(&mut self, ctx: &mut Ctx<'_, Self>, contact: NodeId) {
         self.joined = true;
+        self.frozen = false;
+        self.tree.parent = None;
+        self.tree.dist_us = super::tree::DIST_INF;
+        self.tree.last_heartbeat = ctx.now();
+        self.probe_queue_built = false;
         ctx.send(contact, GoCastMsg::JoinRequest);
     }
 

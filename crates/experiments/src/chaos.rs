@@ -1,0 +1,778 @@
+//! Chaos runs: scenario-driven churn, correlated failures and partitions.
+//!
+//! The `chaos` subcommand drives a GoCast overlay through a
+//! [`gocast_sim::Scenario`] — either one of the built-in presets
+//! ([`builtin_scenario`]) or an ad-hoc spec string ([`parse_spec`]) — and
+//! measures how dissemination *degrades and recovers*:
+//!
+//! - **delivery ratio**, audited end-of-run against message stores: a node
+//!   owes a delivery exactly when the scenario plan says it was present at
+//!   injection time and never departed afterwards;
+//! - **sliding-window delivery ratios** over injection time, showing the
+//!   dip-and-recover shape around fault bursts;
+//! - **tree-repair time** after each labelled fault burst: how long until
+//!   ≥ [`REPAIR_FRAC`] of the nodes that should be present are attached to
+//!   the dissemination tree again;
+//! - **orphan spells**: how long nodes spend detached from the tree;
+//! - the online [`InvariantOracle`], checking protocol safety invariants
+//!   (no duplicate delivery, no delivery before injection, degree bounds,
+//!   no pull of a held message) *while the faults are active*.
+//!
+//! Every run is deterministic: the scenario compiles from its own seeded
+//! RNG stream, the simulation is single-threaded and seeded, and
+//! [`ChaosOutcome::summary_string`] deliberately excludes wall-clock
+//! counters — so the same options replay to a byte-identical summary at
+//! any `--jobs` count (asserted by the integration tests).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use gocast::{bootstrap_random_graph, GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode};
+use gocast_analysis::{
+    fmt_ms, fmt_secs, InvariantOracle, MetricsRecorder, OrphanTracker, RecoveryTracker, Table,
+    WindowRatio,
+};
+use gocast_sim::{
+    KernelStats, NodeId, PresenceTimeline, Recorder, Scenario, ScenarioEnv, Sim, SimBuilder,
+    SimTime, Split,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::options::ExpOptions;
+use crate::runners::build_network;
+use crate::sweep::parallel_map;
+
+/// Sampling period for the tree-attachment time series.
+pub const SLICE: Duration = Duration::from_millis(500);
+
+/// A fault burst counts as repaired once this fraction of the nodes that
+/// should be present are attached to the tree (parent set, or root).
+pub const REPAIR_FRAC: f64 = 0.99;
+
+/// Width of the sliding delivery-ratio windows.
+pub const WINDOW: Duration = Duration::from_secs(5);
+
+/// The composite recorder chaos runs install: steady-state metrics,
+/// recovery trackers, and the online invariant oracle, all fed from the
+/// same event stream.
+#[derive(Debug)]
+pub struct ChaosRecorder {
+    /// Steady-state delivery aggregates (redundancy, tree fraction, pulls).
+    pub metrics: MetricsRecorder,
+    /// Per-message injection/delivery counting for windowed ratios.
+    pub recovery: RecoveryTracker,
+    /// Orphan (tree-detachment) spell accounting.
+    pub orphans: OrphanTracker,
+    /// Online safety-invariant checker.
+    pub oracle: InvariantOracle,
+}
+
+impl ChaosRecorder {
+    /// A recorder whose oracle bounds match `cfg`.
+    pub fn for_protocol(cfg: &GoCastConfig) -> Self {
+        ChaosRecorder {
+            metrics: MetricsRecorder::new(),
+            recovery: RecoveryTracker::new(WINDOW),
+            orphans: OrphanTracker::new(),
+            oracle: InvariantOracle::for_protocol(cfg),
+        }
+    }
+}
+
+impl Recorder<GoCastEvent> for ChaosRecorder {
+    fn record(&mut self, now: SimTime, node: NodeId, event: GoCastEvent) {
+        self.recovery.record(now, node, event.clone());
+        self.orphans.record(now, node, event.clone());
+        self.oracle.record(now, node, event.clone());
+        self.metrics.record(now, node, event);
+    }
+}
+
+/// Repair measurement for one labelled fault burst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstRepair {
+    /// When the burst fired.
+    pub at: SimTime,
+    /// The plan's burst label (e.g. `partition`, `crash-group(3):7`).
+    pub label: String,
+    /// Time from the burst until tree attachment recovered above
+    /// [`REPAIR_FRAC`] (`None`: never within the run).
+    pub repair: Option<Duration>,
+}
+
+/// Everything one seeded chaos run produces.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The seed this run used.
+    pub seed: u64,
+    /// Concrete faults in the compiled plan.
+    pub plan_len: usize,
+    /// Messages injected.
+    pub injected: u64,
+    /// Deliveries owed (present-at-injection, never-departing nodes,
+    /// origin excluded, summed over messages).
+    pub expected: u64,
+    /// Deliveries found in message stores at the end of the run.
+    pub delivered: u64,
+    /// Sliding-window delivery ratios over injection time.
+    pub windows: Vec<WindowRatio>,
+    /// Tree-repair time after each labelled burst.
+    pub repairs: Vec<BurstRepair>,
+    /// Orphan spells closed during the run.
+    pub orphan_spells: u64,
+    /// Mean orphan spell duration.
+    pub orphan_mean: Duration,
+    /// Longest orphan spell.
+    pub orphan_max: Duration,
+    /// Records the invariant oracle checked.
+    pub oracle_records: u64,
+    /// Invariant violations found (should be 0).
+    pub violations: usize,
+    /// Kernel counters at the end of the run.
+    pub kernel: KernelStats,
+}
+
+impl ChaosOutcome {
+    /// `delivered / expected` (1.0 when nothing was owed).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.expected as f64
+        }
+    }
+
+    /// Mean repair time over bursts that did recover within the run.
+    pub fn mean_repair(&self) -> Option<Duration> {
+        let done: Vec<Duration> = self.repairs.iter().filter_map(|r| r.repair).collect();
+        if done.is_empty() {
+            return None;
+        }
+        Some(done.iter().sum::<Duration>() / done.len() as u32)
+    }
+
+    /// A deterministic one-line digest of the run: every simulation-domain
+    /// number, and *no* wall-clock quantity — replaying the same options
+    /// must yield the byte-identical string (the integration tests assert
+    /// this).
+    pub fn summary_string(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "seed={} plan={} injected={} expected={} delivered={} ratio={:.6}",
+            self.seed,
+            self.plan_len,
+            self.injected,
+            self.expected,
+            self.delivered,
+            self.delivery_ratio()
+        );
+        for w in &self.windows {
+            let _ = write!(
+                s,
+                " w[{}ms]={}/{}",
+                w.start.as_nanos() / 1_000_000,
+                w.delivered,
+                w.expected
+            );
+        }
+        for r in &self.repairs {
+            match r.repair {
+                Some(d) => {
+                    let _ = write!(
+                        s,
+                        " repair[{}@{}ms]={}ms",
+                        r.label,
+                        r.at.as_nanos() / 1_000_000,
+                        d.as_millis()
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        s,
+                        " repair[{}@{}ms]=never",
+                        r.label,
+                        r.at.as_nanos() / 1_000_000
+                    );
+                }
+            }
+        }
+        let _ = write!(
+            s,
+            " orphans={} mean={}ms max={}ms oracle={}/{} kernel[ev={} del={} drop={} part={} loss={} tmr={} cmd={} ctl={}]",
+            self.orphan_spells,
+            self.orphan_mean.as_millis(),
+            self.orphan_max.as_millis(),
+            self.violations,
+            self.oracle_records,
+            self.kernel.events_processed,
+            self.kernel.deliveries,
+            self.kernel.messages_dropped,
+            self.kernel.partition_drops,
+            self.kernel.chaos_losses,
+            self.kernel.timers_fired,
+            self.kernel.commands,
+            self.kernel.control_events,
+        );
+        s
+    }
+}
+
+/// Fraction of should-be-present, alive nodes attached to the tree
+/// (parent set or believing themselves root) at `t`.
+fn attached_fraction(
+    sim: &Sim<GoCastNode, ChaosRecorder>,
+    presence: &PresenceTimeline,
+    t: SimTime,
+) -> f64 {
+    let mut present = 0u32;
+    let mut attached = 0u32;
+    for (id, node) in sim.iter_nodes() {
+        if !presence.present(id, t) || !sim.is_alive(id) {
+            continue;
+        }
+        present += 1;
+        if node.is_joined() && (node.is_root() || node.tree_parent().is_some()) {
+            attached += 1;
+        }
+    }
+    if present == 0 {
+        1.0
+    } else {
+        attached as f64 / present as f64
+    }
+}
+
+/// Runs one seeded chaos experiment: warm the overlay up, compile and
+/// schedule `scenario` (site groups come from the latency matrix, so
+/// group faults are correlated site failures), inject the message
+/// workload from nodes the plan says are present, sample tree attachment
+/// every [`SLICE`], drain, and audit.
+pub fn run_chaos(opts: &ExpOptions, scenario: &Scenario) -> ChaosOutcome {
+    let cfg = GoCastConfig {
+        // Keep every message in the stores: the end-of-run audit reads
+        // them, and the default 120 s garbage collection would erase the
+        // evidence mid-run.
+        gc_wait: Duration::from_secs(3600),
+        ..GoCastConfig::default()
+    };
+    let net = build_network(opts);
+    let groups: Vec<u32> = net.site_assignment().to_vec();
+    let links_per_node = (cfg.c_degree() / 2).max(1);
+    let mut boot = bootstrap_random_graph(opts.nodes, links_per_node, opts.seed ^ 0xB007);
+    let mut sim =
+        SimBuilder::new(net)
+            .seed(opts.seed)
+            .build_with(ChaosRecorder::for_protocol(&cfg), |id| {
+                let (links, members) = boot(id);
+                GoCastNode::with_initial_links(id, cfg.clone(), links, members)
+            });
+    sim.run_until(SimTime::ZERO + opts.warmup);
+
+    let env = ScenarioEnv::new(opts.nodes, opts.seed)
+        .with_groups(&groups)
+        .starting_at(sim.now());
+    let plan = scenario.compile(&env);
+    plan.schedule_into(
+        &mut sim,
+        |contact| GoCastCommand::Join { contact },
+        || GoCastCommand::Leave,
+    );
+    let presence = plan.presence();
+
+    // Injections come from nodes the plan says are present at send time
+    // (rejection sampling; the plan never empties the population).
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5EED);
+    let start = sim.now() + Duration::from_millis(100);
+    for i in 0..opts.messages {
+        let at = start + Duration::from_secs_f64(i as f64 / opts.rate);
+        let src = loop {
+            let cand = NodeId::new(rng.gen_range(0..opts.nodes as u32));
+            if presence.present(cand, at) {
+                break cand;
+            }
+        };
+        sim.schedule_command(at, src, GoCastCommand::Multicast);
+    }
+
+    // Step in slices, sampling tree attachment for repair measurement.
+    let end = plan
+        .end()
+        .unwrap_or(start)
+        .max(start + opts.inject_duration())
+        + opts.drain;
+    let mut samples: Vec<(SimTime, f64)> = Vec::new();
+    let mut t = sim.now();
+    while t < end {
+        t = (t + SLICE).min(end);
+        sim.run_until(t);
+        samples.push((t, attached_fraction(&sim, &presence, t)));
+    }
+
+    let final_now = sim.now();
+    sim.recorder_mut().orphans.finish(final_now);
+    sim.recorder_mut().oracle.finish();
+
+    // Audit: a node owes a delivery of message `m` iff the plan says it
+    // was present when `m` was injected and never departed afterwards.
+    // `has_message` reads the actual store, independent of the event
+    // stream the trackers saw.
+    let rec = sim.recorder();
+    let mut per_msg: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut expected = 0u64;
+    let mut delivered = 0u64;
+    for (id, at) in rec.recovery.injections() {
+        let mut owed = 0u64;
+        for n in 0..opts.nodes as u32 {
+            let n = NodeId::new(n);
+            if n == id.origin || !presence.present_from(n, at) {
+                continue;
+            }
+            owed += 1;
+            if sim.node(n).has_message(id) {
+                delivered += 1;
+            }
+        }
+        expected += owed;
+        per_msg.insert((id.origin.as_u32(), id.seq), owed);
+    }
+    let windows = rec
+        .recovery
+        .windowed_ratios(|id, _| per_msg[&(id.origin.as_u32(), id.seq)]);
+
+    let repairs: Vec<BurstRepair> = plan
+        .bursts()
+        .iter()
+        .map(|(at, label)| BurstRepair {
+            at: *at,
+            label: label.clone(),
+            repair: samples
+                .iter()
+                .find(|(t, f)| t >= at && *f >= REPAIR_FRAC)
+                .map(|(t, _)| t.saturating_since(*at)),
+        })
+        .collect();
+
+    ChaosOutcome {
+        seed: opts.seed,
+        plan_len: plan.len(),
+        injected: rec.recovery.injected_count(),
+        expected,
+        delivered,
+        windows,
+        repairs,
+        orphan_spells: rec.orphans.spells(),
+        orphan_mean: rec.orphans.mean_spell(),
+        orphan_max: rec.orphans.max_spell(),
+        oracle_records: rec.oracle.records_checked(),
+        violations: rec.oracle.violations().len(),
+        kernel: sim.kernel_stats(),
+    }
+}
+
+/// Runs `run_chaos` across `seeds` consecutive seeds, fanned over
+/// `opts.effective_jobs()` worker threads. Results come back in seed
+/// order, so output is byte-identical at any job count.
+pub fn chaos_sweep(opts: &ExpOptions, scenario: &Scenario, seeds: u64) -> Vec<ChaosOutcome> {
+    assert!(seeds > 0, "need at least one seed");
+    let runs: Vec<ExpOptions> = (0..seeds)
+        .map(|i| opts.clone().with_seed(opts.seed.wrapping_add(i)))
+        .collect();
+    parallel_map(opts.effective_jobs(), runs, |_, o| run_chaos(&o, scenario))
+}
+
+/// The built-in scenario presets, keyed by `--scenario` name. Each is
+/// sized relative to the option set's injection window (at least 30 s of
+/// fault activity), so `--quick` runs stay quick. Returns `None` for an
+/// unknown name; [`builtin_names`] lists the valid ones.
+pub fn builtin_scenario(name: &str, opts: &ExpOptions) -> Option<Scenario> {
+    let span = opts.inject_duration().max(Duration::from_secs(30));
+    let crowd = (opts.nodes / 8).max(2);
+    Some(match name {
+        // Paper §4 "dependability under churn": continuous Poisson
+        // leave/rejoin at ~12 events/min while messages flow.
+        "churn" => Scenario::new().churn(Duration::ZERO, span, 0.2, 0.2),
+        // Paper §4.3 correlated failures: a whole site crashes at once
+        // (the site of node 1, resolved through the latency matrix).
+        "catastrophe" => Scenario::new().crash_group_of_at(span / 4, NodeId::new(1)),
+        // Paper §2.4 / txt4 two-continent split: halves partition that
+        // heals mid-run.
+        "partition" => Scenario::new().partition_at(span / 4, span / 2, Split::Halves),
+        // Flash crowd: an eighth of the population leaves, then rejoins
+        // simultaneously.
+        "flashcrowd" => Scenario::new()
+            .mass_leave_at(span / 4, crowd)
+            .flash_crowd_at(span / 2, crowd),
+        // A degraded network: 1% message loss, 20 ms jitter, light churn.
+        "lossy" => Scenario::new()
+            .loss_at(Duration::ZERO, 0.01)
+            .jitter_at(Duration::ZERO, Duration::from_millis(20))
+            .churn(Duration::ZERO, span, 0.05, 0.05),
+        _ => return None,
+    })
+}
+
+/// Names accepted by [`builtin_scenario`].
+pub fn builtin_names() -> &'static [&'static str] {
+    &["churn", "catastrophe", "partition", "flashcrowd", "lossy"]
+}
+
+/// Parses a scenario spec string: semicolon-separated `name(k=v,...)`
+/// clauses, times in (fractional) seconds. The grammar (see DESIGN.md
+/// "Fault model & scenarios" for the full reference):
+///
+/// ```text
+/// churn(start=S,end=S,leave=R,join=R)   Poisson leave/join over [start,end)
+/// massleave(at=S,count=N)               N simultaneous graceful leaves
+/// flashcrowd(at=S,count=N)              N simultaneous rejoins
+/// crash(at=S,node=I)                    crash one node
+/// crashsite(at=S,node=I)                crash node I's whole site
+/// partition(at=S,heal=S[,split=halves|group:G])
+/// cutlink(at=S,a=I,b=I)  heallink(at=S,a=I,b=I)
+/// loss(p=P[,at=S])                      per-message loss probability
+/// jitter(ms=M[,at=S])                   max per-message latency jitter
+/// protect(node=I)                       exempt from stochastic selection
+/// floor(n=N)                            population floor for departures
+/// ```
+///
+/// ```
+/// use gocast_experiments::chaos::parse_spec;
+///
+/// let s = parse_spec(
+///     "churn(start=0,end=60,leave=0.5,join=0.5); \
+///      partition(at=20,heal=40,split=halves); loss(p=0.01)",
+/// )
+/// .unwrap();
+/// assert_eq!(s.step_count(), 3);
+/// assert!(parse_spec("explode(at=1)").is_err());
+/// ```
+pub fn parse_spec(spec: &str) -> Result<Scenario, String> {
+    let mut s = Scenario::new();
+    for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+        let (name, rest) = clause
+            .split_once('(')
+            .ok_or_else(|| format!("clause `{clause}` is not name(k=v,...)"))?;
+        let args = rest
+            .strip_suffix(')')
+            .ok_or_else(|| format!("clause `{clause}` missing closing `)`"))?;
+        let mut kv = BTreeMap::new();
+        for pair in args.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("`{pair}` in `{clause}` is not k=v"))?;
+            kv.insert(k.trim(), v.trim());
+        }
+        let f = |key: &str| -> Result<f64, String> {
+            kv.get(key)
+                .ok_or_else(|| format!("`{name}` needs `{key}=`"))?
+                .parse::<f64>()
+                .map_err(|e| format!("`{key}` in `{name}`: {e}"))
+        };
+        let f_or = |key: &str, default: f64| -> Result<f64, String> {
+            match kv.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .parse::<f64>()
+                    .map_err(|e| format!("`{key}` in `{name}`: {e}")),
+            }
+        };
+        let secs = |key: &str| -> Result<Duration, String> {
+            let v = f(key)?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("`{key}` in `{name}` must be a non-negative time"));
+            }
+            Ok(Duration::from_secs_f64(v))
+        };
+        let secs_or = |key: &str, default: f64| -> Result<Duration, String> {
+            let v = f_or(key, default)?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("`{key}` in `{name}` must be a non-negative time"));
+            }
+            Ok(Duration::from_secs_f64(v))
+        };
+        let node = |key: &str| -> Result<NodeId, String> {
+            Ok(NodeId::new(
+                kv.get(key)
+                    .ok_or_else(|| format!("`{name}` needs `{key}=`"))?
+                    .parse::<u32>()
+                    .map_err(|e| format!("`{key}` in `{name}`: {e}"))?,
+            ))
+        };
+        let count = |key: &str| -> Result<usize, String> {
+            kv.get(key)
+                .ok_or_else(|| format!("`{name}` needs `{key}=`"))?
+                .parse::<usize>()
+                .map_err(|e| format!("`{key}` in `{name}`: {e}"))
+        };
+        s = match name.trim() {
+            "churn" => {
+                let (start, end) = (secs_or("start", 0.0)?, secs("end")?);
+                let (leave, join) = (f("leave")?, f("join")?);
+                if end < start {
+                    return Err("churn `end` must not precede `start`".into());
+                }
+                if !(leave.is_finite() && leave >= 0.0 && join.is_finite() && join >= 0.0) {
+                    return Err("churn rates must be finite and non-negative".into());
+                }
+                s.churn(start, end, leave, join)
+            }
+            "massleave" => s.mass_leave_at(secs("at")?, count("count")?),
+            "flashcrowd" => s.flash_crowd_at(secs("at")?, count("count")?),
+            "crash" => s.crash_at(secs("at")?, node("node")?),
+            "crashsite" => s.crash_group_of_at(secs("at")?, node("node")?),
+            "partition" => {
+                let (at, heal) = (secs("at")?, secs("heal")?);
+                if heal < at {
+                    return Err("partition must heal after it forms".into());
+                }
+                let split = match kv.get("split").copied() {
+                    None | Some("halves") => Split::Halves,
+                    Some(v) => match v.strip_prefix("group:") {
+                        Some(g) => Split::IsolateGroup(
+                            g.parse::<u32>()
+                                .map_err(|e| format!("partition split: {e}"))?,
+                        ),
+                        None => return Err(format!("unknown split `{v}` (halves | group:G)")),
+                    },
+                };
+                s.partition_at(at, heal, split)
+            }
+            "cutlink" => s.cut_link_at(secs("at")?, node("a")?, node("b")?),
+            "heallink" => s.heal_link_at(secs("at")?, node("a")?, node("b")?),
+            "loss" => {
+                let p = f("p")?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("loss probability {p} not in 0..=1"));
+                }
+                s.loss_at(secs_or("at", 0.0)?, p)
+            }
+            "jitter" => {
+                let ms = f("ms")?;
+                if !(ms.is_finite() && ms >= 0.0) {
+                    return Err("jitter `ms` must be non-negative".into());
+                }
+                s.jitter_at(secs_or("at", 0.0)?, Duration::from_secs_f64(ms / 1000.0))
+            }
+            "protect" => s.protect(node("node")?),
+            "floor" => s.min_present(count("n")?),
+            other => {
+                return Err(format!(
+                    "unknown clause `{other}` (churn, massleave, flashcrowd, crash, crashsite, \
+                     partition, cutlink, heallink, loss, jitter, protect, floor)"
+                ))
+            }
+        };
+    }
+    Ok(s)
+}
+
+/// The `chaos` subcommand: resolve the scenario (`--spec` wins over
+/// `--scenario`), run it over `seeds` consecutive seeds, print the
+/// per-seed recovery table plus (for a single seed) the windowed
+/// delivery-ratio series, and write `chaos.csv` / `chaos_windows.csv`.
+/// Returns the outcomes for programmatic use (benches, tests).
+pub fn chaos(
+    opts: &ExpOptions,
+    scenario_name: &str,
+    spec: Option<&str>,
+    seeds: u64,
+) -> Vec<ChaosOutcome> {
+    let scenario = match spec {
+        Some(spec) => parse_spec(spec).unwrap_or_else(|e| {
+            eprintln!("bad --spec: {e}");
+            std::process::exit(2);
+        }),
+        None => builtin_scenario(scenario_name, opts).unwrap_or_else(|| {
+            eprintln!(
+                "unknown scenario `{scenario_name}` (one of: {})",
+                builtin_names().join(", ")
+            );
+            std::process::exit(2);
+        }),
+    };
+    eprintln!(
+        "chaos `{}`: {} nodes, {} messages, {} seed(s), {} scenario step(s) ...",
+        if spec.is_some() {
+            "spec"
+        } else {
+            scenario_name
+        },
+        opts.nodes,
+        opts.messages,
+        seeds,
+        scenario.step_count(),
+    );
+
+    let outcomes = chaos_sweep(opts, &scenario, seeds);
+
+    let mut table = Table::new([
+        "seed",
+        "faults",
+        "injected",
+        "expected",
+        "delivered",
+        "ratio",
+        "mean_repair_ms",
+        "orphan_mean_ms",
+        "orphan_max_ms",
+        "violations",
+    ]);
+    for o in &outcomes {
+        table.row([
+            o.seed.to_string(),
+            o.plan_len.to_string(),
+            o.injected.to_string(),
+            o.expected.to_string(),
+            o.delivered.to_string(),
+            format!("{:.4}", o.delivery_ratio()),
+            o.mean_repair()
+                .map(|d| format!("{:.0}", d.as_secs_f64() * 1000.0))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.0}", o.orphan_mean.as_secs_f64() * 1000.0),
+            format!("{:.0}", o.orphan_max.as_secs_f64() * 1000.0),
+            o.violations.to_string(),
+        ]);
+    }
+    println!("{table}");
+    opts.write_csv("chaos", &table);
+
+    for o in &outcomes {
+        for r in &o.repairs {
+            let when = fmt_secs(Duration::from_nanos(r.at.as_nanos()));
+            match r.repair {
+                Some(d) => println!(
+                    "  seed {}: burst {} at {when}s: tree repaired in {} ms",
+                    o.seed,
+                    r.label,
+                    fmt_ms(d)
+                ),
+                None => println!(
+                    "  seed {}: burst {} at {when}s: tree NOT repaired within the run",
+                    o.seed, r.label
+                ),
+            }
+        }
+    }
+
+    if outcomes.len() == 1 {
+        let o = &outcomes[0];
+        let mut wins = Table::new([
+            "window_start_s",
+            "injected",
+            "expected",
+            "delivered",
+            "ratio",
+        ]);
+        for w in &o.windows {
+            wins.row([
+                format!("{:.0}", w.start.as_nanos() as f64 / 1e9),
+                w.injected.to_string(),
+                w.expected.to_string(),
+                w.delivered.to_string(),
+                format!("{:.4}", w.ratio()),
+            ]);
+        }
+        println!("{wins}");
+        opts.write_csv("chaos_windows", &wins);
+    }
+
+    let worst = outcomes
+        .iter()
+        .map(ChaosOutcome::delivery_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let violations: usize = outcomes.iter().map(|o| o.violations).sum();
+    println!(
+        "worst-seed delivery ratio {:.4}; invariant oracle: {} violation(s) across {} record(s)",
+        worst,
+        violations,
+        outcomes.iter().map(|o| o.oracle_records).sum::<u64>()
+    );
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_every_clause() {
+        let s = parse_spec(
+            "churn(start=1,end=9,leave=0.5,join=0.25); massleave(at=2,count=4); \
+             flashcrowd(at=5,count=4); crash(at=3,node=7); crashsite(at=4,node=2); \
+             partition(at=1,heal=2,split=group:3); cutlink(at=1,a=0,b=1); \
+             heallink(at=2,a=0,b=1); loss(p=0.05,at=1); jitter(ms=15); \
+             protect(node=0); floor(n=8)",
+        )
+        .unwrap();
+        // protect/floor configure the scenario without adding steps.
+        assert_eq!(s.step_count(), 10);
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        for (spec, needle) in [
+            ("explode(at=1)", "unknown clause"),
+            ("churn(start=5,end=1,leave=1,join=1)", "end"),
+            ("churn(end=1,leave=x,join=1)", "leave"),
+            ("loss(p=1.5)", "0..=1"),
+            ("partition(at=5,heal=1)", "heal"),
+            ("partition(at=1,heal=2,split=thirds)", "unknown split"),
+            ("crash(at=1)", "node="),
+            ("jitter(ms=-3)", "non-negative"),
+            ("churn at=1", "name(k=v"),
+            ("churn(at=1", "closing"),
+            ("churn(at)", "k=v"),
+        ] {
+            let err = parse_spec(spec).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "spec `{spec}`: error `{err}` should mention `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn builtins_compile_at_quick_scale() {
+        let opts = ExpOptions::quick();
+        let groups: Vec<u32> = (0..opts.nodes as u32).map(|i| i % 8).collect();
+        for name in builtin_names() {
+            let s = builtin_scenario(name, &opts).unwrap();
+            let env = ScenarioEnv::new(opts.nodes, opts.seed).with_groups(&groups);
+            let plan = s.compile(&env);
+            // Stochastic presets (churn, lossy) may expand to nothing on an
+            // unlucky seed; the deterministic ones always produce faults.
+            if matches!(*name, "catastrophe" | "partition" | "flashcrowd") {
+                assert!(!plan.is_empty(), "builtin `{name}` expands to no faults");
+            }
+        }
+        assert!(builtin_scenario("nope", &opts).is_none());
+    }
+
+    #[test]
+    fn tiny_chaos_run_delivers_and_replays_identically() {
+        let mut opts = ExpOptions::quick();
+        opts.nodes = 32;
+        opts.sites = 32;
+        opts.warmup = Duration::from_secs(15);
+        opts.messages = 8;
+        opts.rate = 2.0;
+        opts.drain = Duration::from_secs(20);
+        let scenario = parse_spec("churn(start=0,end=4,leave=0.5,join=0.5)").unwrap();
+        let a = run_chaos(&opts, &scenario);
+        assert_eq!(a.injected, 8);
+        assert_eq!(a.violations, 0, "oracle must stay clean under churn");
+        assert!(
+            a.delivery_ratio() > 0.95,
+            "delivery ratio {} too low",
+            a.delivery_ratio()
+        );
+        let b = run_chaos(&opts, &scenario);
+        assert_eq!(
+            a.summary_string(),
+            b.summary_string(),
+            "same options must replay byte-identically"
+        );
+    }
+}

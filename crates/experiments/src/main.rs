@@ -23,6 +23,8 @@
 //! sweep   multi-seed robustness check of the headline speedup
 //! trace       traced GoCast run + tree reconstruction + invariant oracle
 //! trace-fail  same with 20% concurrent failures (measures recovery)
+//! chaos   scenario-driven faults (churn, site crashes, partitions, loss)
+//!         with recovery metrics and the online invariant oracle
 //! all     everything above at full scale
 //! ```
 //!
@@ -32,6 +34,12 @@
 //! trace of every run to PATH; any experiment accepts it), `--jobs N`
 //! (fan independent runs across N worker threads; output is byte-identical
 //! to the default fully serial `--jobs 1`).
+//!
+//! `chaos`-only flags: `--scenario NAME` (one of churn, catastrophe,
+//! partition, flashcrowd, lossy; default churn), `--spec STR` (an ad-hoc
+//! scenario spec like `churn(end=60,leave=0.5,join=0.5);loss(p=0.01)`,
+//! overriding `--scenario`), `--seeds K` (run K consecutive seeds,
+//! composable with `--jobs`).
 
 use std::time::Duration;
 
@@ -39,14 +47,27 @@ use gocast_experiments::{figures, ExpOptions};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|all> \
-         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--jobs N]"
+        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|all> \
+         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--jobs N] \
+         [--scenario NAME] [--spec STR] [--seeds K]"
     );
     std::process::exit(2);
 }
 
-fn parse_opts(args: &[String]) -> ExpOptions {
+/// Everything the command line resolves to: the shared experiment options
+/// plus the `chaos`-only scenario selection.
+struct CliArgs {
+    opts: ExpOptions,
+    scenario: String,
+    spec: Option<String>,
+    seeds: u64,
+}
+
+fn parse_opts(args: &[String]) -> CliArgs {
     let mut opts = ExpOptions::default();
+    let mut scenario = String::from("churn");
+    let mut spec = None;
+    let mut seeds = 1u64;
     let mut explicit_nodes = None;
     let mut explicit_jobs = None;
     let mut i = 0;
@@ -81,6 +102,9 @@ fn parse_opts(args: &[String]) -> ExpOptions {
             "--no-csv" => opts.out_dir = None,
             "--trace-out" => opts.trace_out = Some(take("--trace-out").into()),
             "--jobs" => explicit_jobs = Some(take("--jobs").parse().expect("--jobs")),
+            "--scenario" => scenario = take("--scenario"),
+            "--spec" => spec = Some(take("--spec")),
+            "--seeds" => seeds = take("--seeds").parse().expect("--seeds"),
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -94,13 +118,23 @@ fn parse_opts(args: &[String]) -> ExpOptions {
     if let Some(j) = explicit_jobs {
         opts = opts.with_jobs(j);
     }
-    opts
+    if seeds == 0 {
+        eprintln!("--seeds must be at least 1");
+        usage()
+    }
+    CliArgs {
+        opts,
+        scenario,
+        spec,
+        seeds,
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(exp) = args.first() else { usage() };
-    let opts = parse_opts(&args[1..]);
+    let cli = parse_opts(&args[1..]);
+    let opts = cli.opts.clone();
     let quick = args.iter().any(|a| a == "--quick");
 
     let fig4_sizes: Vec<usize> = if quick {
@@ -198,6 +232,18 @@ fn main() {
             let fail_frac = if exp == "trace-fail" { 0.2 } else { 0.0 };
             let violations = figures::trace_run(&opts, fail_frac);
             if !violations.is_empty() {
+                eprintln!("done in {:?}", t0.elapsed());
+                std::process::exit(1);
+            }
+        }
+        "chaos" => {
+            let outcomes = gocast_experiments::chaos::chaos(
+                &opts,
+                &cli.scenario,
+                cli.spec.as_deref(),
+                cli.seeds,
+            );
+            if outcomes.iter().any(|o| o.violations > 0) {
                 eprintln!("done in {:?}", t0.elapsed());
                 std::process::exit(1);
             }

@@ -69,6 +69,14 @@ impl SiteLatencyMatrix {
         self.node_site[node.index()]
     }
 
+    /// The full node-to-site assignment (one site id per node id).
+    ///
+    /// Fault scenarios use this as the group map for correlated site-level
+    /// crashes and site-isolating partitions.
+    pub fn site_assignment(&self) -> &[u32] {
+        &self.node_site
+    }
+
     /// One-way latency between two sites.
     pub fn site_latency(&self, a: u32, b: u32) -> Duration {
         Duration::from_micros(self.lat_us[a as usize * self.sites + b as usize] as u64)

@@ -31,8 +31,15 @@ pub struct KernelStats {
     pub events_processed: u64,
     /// Message deliveries dispatched to a protocol handler.
     pub deliveries: u64,
-    /// Messages dropped in flight (dead destination or failed link).
+    /// Messages dropped in flight (dead destination, failed link, or
+    /// partition).
     pub messages_dropped: u64,
+    /// Messages dropped in flight because the endpoints were on opposite
+    /// sides of a network partition (a subset of `messages_dropped`).
+    pub partition_drops: u64,
+    /// Messages dropped at send time by the probabilistic-loss fault
+    /// injector ([`Sim::set_loss`]). Disjoint from `messages_dropped`.
+    pub chaos_losses: u64,
     /// Timer firings dispatched.
     pub timers_fired: u64,
     /// Commands dispatched.
@@ -50,9 +57,10 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
-    /// Messages handed to the network layer (delivered + dropped in flight).
+    /// Messages handed to the network layer (delivered + dropped in
+    /// flight + lost to injected message loss).
     pub fn messages_sent(&self) -> u64 {
-        self.deliveries + self.messages_dropped
+        self.deliveries + self.messages_dropped + self.chaos_losses
     }
 
     /// Kernel throughput: events processed per wall-clock second.
@@ -80,6 +88,72 @@ impl std::fmt::Display for KernelStats {
             self.events_per_sec(),
             self.queue_high_water,
         )
+    }
+}
+
+/// Error returned by the `try_*` scheduling methods when the requested
+/// firing time is earlier than the simulation clock.
+///
+/// The panicking variants ([`Sim::fail_node_at`], [`Sim::fail_link_at`],
+/// [`Sim::schedule_command`], ...) panic with this error's message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PastScheduleError {
+    /// The requested firing time.
+    pub at: SimTime,
+    /// The simulation clock at the time of the call.
+    pub now: SimTime,
+}
+
+impl std::fmt::Display for PastScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot schedule an event at {:?} in the past (simulation time is {:?})",
+            self.at, self.now
+        )
+    }
+}
+
+impl std::error::Error for PastScheduleError {}
+
+/// Message-level fault injection state: probabilistic loss and latency
+/// jitter, applied at send time.
+///
+/// Draws come from a dedicated RNG stream (derived from the master seed,
+/// separate from every per-node stream), so enabling chaos never perturbs
+/// protocol-level randomness, and a run without chaos makes zero draws —
+/// byte-identical to a build without this feature.
+#[derive(Debug)]
+pub(crate) struct NetFaults {
+    /// Per-message loss probability in parts per million (0 = off).
+    pub(crate) loss_ppm: u32,
+    /// Maximum extra one-way latency, drawn uniformly per message (0 = off).
+    pub(crate) jitter_ns: u64,
+    /// Dedicated chaos RNG stream.
+    pub(crate) rng: SmallRng,
+    /// Messages dropped by the loss injector.
+    pub(crate) losses: u64,
+}
+
+impl NetFaults {
+    fn new(seed: u64) -> Self {
+        NetFaults {
+            loss_ppm: 0,
+            jitter_ns: 0,
+            // Distinct stream: per-node RNGs use seed * GOLDEN ^ node_index,
+            // so folding in a large constant cannot collide with any node.
+            rng: SmallRng::seed_from_u64(
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xC4A0_5FA7_17E5_0123,
+            ),
+            losses: 0,
+        }
+    }
+
+    /// Whether any send-time fault is enabled (single branch on the
+    /// no-chaos hot path).
+    #[inline]
+    pub(crate) fn active(&self) -> bool {
+        self.loss_ppm > 0 || self.jitter_ns > 0
     }
 }
 
@@ -161,6 +235,8 @@ impl SimBuilder {
             stats,
             kernel: KernelStats::default(),
             failed_links: LinkSet::default(),
+            faults: NetFaults::new(self.seed),
+            partition: None,
             started: false,
         }
     }
@@ -188,6 +264,11 @@ pub struct Sim<P: Protocol, R: Recorder<P::Event> = NullRecorder> {
     kernel: KernelStats,
     /// Currently failed links, as normalized `(min, max)` pairs.
     failed_links: LinkSet,
+    /// Send-time fault injection (loss / jitter).
+    faults: NetFaults,
+    /// Active network partition: side label per node. Messages between
+    /// nodes with different labels are dropped in flight.
+    partition: Option<Vec<u32>>,
     started: bool,
 }
 
@@ -316,6 +397,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         let mut k = self.kernel;
         k.queue_len = self.queue.len();
         k.events_scheduled = self.queue.scheduled_total();
+        k.chaos_losses = self.faults.losses;
         k
     }
 
@@ -334,14 +416,37 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         self.recorder
     }
 
+    /// Checks that `at` has not already passed.
+    fn check_future(&self, at: SimTime) -> Result<(), PastScheduleError> {
+        if at < self.now {
+            Err(PastScheduleError { at, now: self.now })
+        } else {
+            Ok(())
+        }
+    }
+
     /// Schedules command `cmd` for `node` at absolute time `at`.
     ///
     /// # Panics
     ///
-    /// Panics if `at` is in the past.
+    /// Panics if `at` is in the past; use [`Sim::try_schedule_command`]
+    /// for a fallible variant.
     pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: P::Command) {
-        assert!(at >= self.now, "cannot schedule a command in the past");
+        self.try_schedule_command(at, node, cmd)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Schedules command `cmd` for `node` at absolute time `at`, or
+    /// returns a [`PastScheduleError`] if `at` has already passed.
+    pub fn try_schedule_command(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        cmd: P::Command,
+    ) -> Result<(), PastScheduleError> {
+        self.check_future(at)?;
         self.queue.schedule(at, KernelEvent::Command { node, cmd });
+        Ok(())
     }
 
     /// Injects a command for `node` at the current time.
@@ -352,9 +457,50 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
 
     /// Schedules a crash of `node` at absolute time `at`. From that instant
     /// the node stops executing handlers and all traffic to it is dropped.
+    ///
+    /// ```
+    /// use gocast_sim::{Ctx, FixedLatency, NodeId, Protocol, SimBuilder, SimTime, Timer};
+    /// # use gocast_sim::{TrafficClass, Wire};
+    /// use std::time::Duration;
+    ///
+    /// # struct Quiet;
+    /// # #[derive(Debug)]
+    /// # struct Never;
+    /// # impl Wire for Never {
+    /// #     fn wire_size(&self) -> u32 { 0 }
+    /// #     fn class(&self) -> TrafficClass { TrafficClass::Data }
+    /// # }
+    /// # impl Protocol for Quiet {
+    /// #     type Msg = Never;
+    /// #     type Command = ();
+    /// #     type Event = ();
+    /// #     fn on_start(&mut self, _: &mut Ctx<'_, Self>) {}
+    /// #     fn on_message(&mut self, _: &mut Ctx<'_, Self>, _: NodeId, _: Never) {}
+    /// #     fn on_timer(&mut self, _: &mut Ctx<'_, Self>, _: Timer) {}
+    /// # }
+    /// let mut sim = SimBuilder::new(FixedLatency::new(4, Duration::from_millis(5)))
+    ///     .build(|_| Quiet);
+    /// sim.fail_node_at(SimTime::from_secs(1), NodeId::new(3));
+    /// sim.run_until(SimTime::from_secs(2));
+    /// assert!(!sim.is_alive(NodeId::new(3)));
+    /// assert_eq!(sim.alive_nodes().count(), 3);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; use [`Sim::try_fail_node_at`] for a
+    /// fallible variant.
     pub fn fail_node_at(&mut self, at: SimTime, node: NodeId) {
-        assert!(at >= self.now, "cannot schedule a failure in the past");
+        self.try_fail_node_at(at, node)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Schedules a crash of `node` at absolute time `at`, or returns a
+    /// [`PastScheduleError`] if `at` has already passed.
+    pub fn try_fail_node_at(&mut self, at: SimTime, node: NodeId) -> Result<(), PastScheduleError> {
+        self.check_future(at)?;
         self.queue.schedule(at, KernelEvent::Fail { node });
+        Ok(())
     }
 
     /// Crashes `node` immediately.
@@ -375,22 +521,191 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
     }
 
     /// Schedules a link cut at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; use [`Sim::try_fail_link_at`] for a
+    /// fallible variant.
     pub fn fail_link_at(&mut self, at: SimTime, a: NodeId, b: NodeId) {
-        assert!(at >= self.now, "cannot schedule a link failure in the past");
+        self.try_fail_link_at(at, a, b)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Schedules a link cut at absolute time `at`, or returns a
+    /// [`PastScheduleError`] if `at` has already passed.
+    pub fn try_fail_link_at(
+        &mut self,
+        at: SimTime,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<(), PastScheduleError> {
+        self.check_future(at)?;
         self.queue
             .schedule(at, KernelEvent::SetLink { a, b, up: false });
+        Ok(())
     }
 
     /// Schedules a link restore at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; use [`Sim::try_heal_link_at`] for a
+    /// fallible variant.
     pub fn heal_link_at(&mut self, at: SimTime, a: NodeId, b: NodeId) {
-        assert!(at >= self.now, "cannot schedule a link heal in the past");
+        self.try_heal_link_at(at, a, b)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Schedules a link restore at absolute time `at`, or returns a
+    /// [`PastScheduleError`] if `at` has already passed.
+    pub fn try_heal_link_at(
+        &mut self,
+        at: SimTime,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<(), PastScheduleError> {
+        self.check_future(at)?;
         self.queue
             .schedule(at, KernelEvent::SetLink { a, b, up: true });
+        Ok(())
     }
 
     /// Whether the path between `a` and `b` is currently cut.
     pub fn is_link_failed(&self, a: NodeId, b: NodeId) -> bool {
         self.failed_links.contains(link_key(a, b))
+    }
+
+    // ------------------------------------------------------------------
+    // Message-level fault injection (chaos engine).
+    // ------------------------------------------------------------------
+
+    /// Sets the per-message loss probability (`0.0..=1.0`) applied to every
+    /// subsequent send between distinct nodes. Lost messages count into
+    /// [`KernelStats::chaos_losses`], not `messages_dropped`.
+    ///
+    /// Loss draws come from a dedicated chaos RNG stream, so runs with
+    /// `p == 0.0` are byte-identical to runs on a kernel without fault
+    /// injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn set_loss(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} not in 0..=1"
+        );
+        self.faults.loss_ppm = (p * 1_000_000.0).round() as u32;
+    }
+
+    /// Current per-message loss probability.
+    pub fn loss(&self) -> f64 {
+        self.faults.loss_ppm as f64 / 1_000_000.0
+    }
+
+    /// Sets the maximum extra one-way latency added to every subsequent
+    /// send between distinct nodes; each message draws uniformly from
+    /// `[0, jitter]`. `Duration::ZERO` disables jitter.
+    pub fn set_jitter(&mut self, jitter: std::time::Duration) {
+        self.faults.jitter_ns = jitter.as_nanos().min(u64::MAX as u128) as u64;
+    }
+
+    /// Current maximum latency jitter.
+    pub fn jitter(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.faults.jitter_ns)
+    }
+
+    /// Schedules a loss-probability change at absolute time `at` (see
+    /// [`Sim::set_loss`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `p` is not within `0.0..=1.0`.
+    pub fn set_loss_at(&mut self, at: SimTime, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} not in 0..=1"
+        );
+        self.check_future(at).unwrap_or_else(|e| panic!("{e}"));
+        let ppm = (p * 1_000_000.0).round() as u32;
+        self.queue.schedule(at, KernelEvent::SetLoss { ppm });
+    }
+
+    /// Schedules a jitter change at absolute time `at` (see
+    /// [`Sim::set_jitter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn set_jitter_at(&mut self, at: SimTime, jitter: std::time::Duration) {
+        self.check_future(at).unwrap_or_else(|e| panic!("{e}"));
+        let nanos = jitter.as_nanos().min(u64::MAX as u128) as u64;
+        self.queue.schedule(at, KernelEvent::SetJitter { nanos });
+    }
+
+    /// Installs a network partition immediately: `sides[i]` is node `i`'s
+    /// side label, and messages between nodes with different labels are
+    /// dropped in flight (counted in [`KernelStats::partition_drops`]).
+    /// Messages already in flight across the cut are dropped on arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides.len()` differs from the node count.
+    pub fn set_partition(&mut self, sides: Vec<u32>) {
+        assert_eq!(
+            sides.len(),
+            self.nodes.len(),
+            "partition must label every node"
+        );
+        self.partition = Some(sides);
+    }
+
+    /// Removes the active partition (no-op when none is active).
+    pub fn clear_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a partition is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Schedules a partition at absolute time `at` (see
+    /// [`Sim::set_partition`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `sides.len()` differs from the node
+    /// count.
+    pub fn partition_at(&mut self, at: SimTime, sides: Vec<u32>) {
+        assert_eq!(
+            sides.len(),
+            self.nodes.len(),
+            "partition must label every node"
+        );
+        self.check_future(at).unwrap_or_else(|e| panic!("{e}"));
+        self.queue
+            .schedule(at, KernelEvent::SetPartition { sides: Some(sides) });
+    }
+
+    /// Schedules the removal of any active partition at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn heal_partition_at(&mut self, at: SimTime) {
+        self.check_future(at).unwrap_or_else(|e| panic!("{e}"));
+        self.queue
+            .schedule(at, KernelEvent::SetPartition { sides: None });
+    }
+
+    /// Whether the active partition separates `a` from `b`.
+    #[inline]
+    fn partition_blocks(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            None => false,
+            Some(sides) => sides[a.index()] != sides[b.index()],
+        }
     }
 
     /// Calls `on_start` on every alive node, once. Run methods call this
@@ -466,6 +781,10 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
                 if !self.alive[to.index()] || self.failed_links.contains(link_key(from, to)) {
                     self.kernel.messages_dropped += 1;
                     self.stats.record_drop_to_dead();
+                } else if self.partition_blocks(from, to) {
+                    self.kernel.messages_dropped += 1;
+                    self.kernel.partition_drops += 1;
+                    self.stats.record_drop_to_dead();
                 } else {
                     self.kernel.deliveries += 1;
                     self.dispatch_message(to, from, msg);
@@ -495,6 +814,21 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
                     self.fail_link(a, b);
                 }
             }
+            KernelEvent::SetLoss { ppm } => {
+                self.kernel.control_events += 1;
+                self.faults.loss_ppm = ppm;
+            }
+            KernelEvent::SetJitter { nanos } => {
+                self.kernel.control_events += 1;
+                self.faults.jitter_ns = nanos;
+            }
+            KernelEvent::SetPartition { sides } => {
+                self.kernel.control_events += 1;
+                if let Some(s) = &sides {
+                    debug_assert_eq!(s.len(), self.nodes.len());
+                }
+                self.partition = sides;
+            }
         }
     }
 
@@ -512,6 +846,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
             self.net.as_ref(),
             &mut self.recorder,
             &mut self.stats,
+            &mut self.faults,
         );
         f(p, &mut ctx);
     }
@@ -737,5 +1072,169 @@ mod tests {
         let mut sim = ring_sim(3, 1);
         sim.run_until(SimTime::from_millis(50));
         sim.schedule_command(SimTime::from_millis(10), NodeId::new(0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn fail_node_in_the_past_panics() {
+        let mut sim = ring_sim(3, 1);
+        sim.run_until(SimTime::from_millis(50));
+        sim.fail_node_at(SimTime::from_millis(10), NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn fail_link_in_the_past_panics() {
+        let mut sim = ring_sim(3, 1);
+        sim.run_until(SimTime::from_millis(50));
+        sim.fail_link_at(SimTime::from_millis(10), NodeId::new(0), NodeId::new(1));
+    }
+
+    #[test]
+    fn try_scheduling_reports_past_timestamps() {
+        let mut sim = ring_sim(3, 1);
+        sim.run_until(SimTime::from_millis(50));
+        let err = sim
+            .try_fail_node_at(SimTime::from_millis(10), NodeId::new(0))
+            .unwrap_err();
+        assert_eq!(err.at, SimTime::from_millis(10));
+        assert_eq!(err.now, SimTime::from_millis(50));
+        assert!(err.to_string().contains("in the past"));
+        assert!(sim
+            .try_fail_link_at(SimTime::from_millis(10), NodeId::new(0), NodeId::new(1))
+            .is_err());
+        assert!(sim
+            .try_heal_link_at(SimTime::from_millis(10), NodeId::new(0), NodeId::new(1))
+            .is_err());
+        assert!(sim
+            .try_schedule_command(SimTime::from_millis(10), NodeId::new(0), ())
+            .is_err());
+        // Present and future timestamps are fine.
+        sim.try_fail_node_at(SimTime::from_millis(50), NodeId::new(2))
+            .unwrap();
+        sim.try_fail_link_at(SimTime::from_millis(60), NodeId::new(0), NodeId::new(1))
+            .unwrap();
+        sim.run_until(SimTime::from_millis(70));
+        assert!(!sim.is_alive(NodeId::new(2)));
+        assert!(sim.is_link_failed(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn total_loss_kills_all_traffic_and_is_counted() {
+        let mut sim = ring_sim(4, 1);
+        sim.set_loss(1.0);
+        assert_eq!(sim.loss(), 1.0);
+        sim.run_until_idle();
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 0, "every send is lost");
+        let k = sim.kernel_stats();
+        assert_eq!(k.chaos_losses, 1);
+        assert_eq!(k.deliveries, 0);
+        assert_eq!(k.messages_sent(), 1);
+    }
+
+    #[test]
+    fn partial_loss_drops_a_plausible_fraction() {
+        // The ring re-sends until hop 3n, so a run sees many sends; with
+        // 30% loss the token dies early on most seeds, so instead count
+        // across many independent seeds.
+        let mut lost = 0u64;
+        let mut sent = 0u64;
+        for seed in 0..200 {
+            let mut sim = ring_sim(3, seed);
+            sim.set_loss(0.3);
+            sim.run_until_idle();
+            let k = sim.kernel_stats();
+            lost += k.chaos_losses;
+            sent += k.messages_sent();
+        }
+        let rate = lost as f64 / sent as f64;
+        assert!((0.2..0.4).contains(&rate), "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = ring_sim(5, seed);
+            sim.set_loss(0.2);
+            sim.run_until_idle();
+            (sim.kernel_stats().chaos_losses, sim.now())
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn jitter_delays_but_preserves_delivery() {
+        let mut sim = ring_sim(4, 1);
+        sim.set_jitter(Duration::from_millis(5));
+        assert_eq!(sim.jitter(), Duration::from_millis(5));
+        sim.run_until_idle();
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 13, "jitter loses nothing");
+        // 13 hops of 10ms base latency plus per-hop jitter in [0, 5ms].
+        assert!(sim.now() >= SimTime::from_millis(130));
+        assert!(sim.now() <= SimTime::from_millis(130 + 13 * 5));
+    }
+
+    #[test]
+    fn chaos_disabled_makes_no_rng_draws() {
+        // A run with loss/jitter never enabled must be byte-identical to
+        // one where they were enabled and disabled again before start.
+        let mut plain = ring_sim(5, 3);
+        let mut toggled = ring_sim(5, 3);
+        toggled.set_loss(0.5);
+        toggled.set_jitter(Duration::from_millis(2));
+        toggled.set_loss(0.0);
+        toggled.set_jitter(Duration::ZERO);
+        plain.run_until_idle();
+        toggled.run_until_idle();
+        assert_eq!(plain.recorder().events, toggled.recorder().events);
+        assert_eq!(plain.now(), toggled.now());
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_traffic_until_healed() {
+        let mut sim = ring_sim(4, 1);
+        // Nodes 0,1 vs 2,3: the token dies on the 1 -> 2 hop.
+        sim.set_partition(vec![0, 0, 1, 1]);
+        assert!(sim.is_partitioned());
+        sim.run_until(SimTime::from_millis(100));
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 1);
+        let k = sim.kernel_stats();
+        assert_eq!(k.partition_drops, 1);
+        assert_eq!(k.messages_dropped, 1);
+        sim.clear_partition();
+        assert!(!sim.is_partitioned());
+    }
+
+    #[test]
+    fn scheduled_partition_and_heal_fire_at_time() {
+        let mut sim = ring_sim(4, 1);
+        sim.partition_at(SimTime::from_millis(25), vec![0, 0, 1, 1]);
+        sim.heal_partition_at(SimTime::from_millis(45));
+        sim.run_until(SimTime::from_millis(30));
+        assert!(sim.is_partitioned());
+        sim.run_until(SimTime::from_millis(50));
+        assert!(!sim.is_partitioned());
+        // Hops at 10 (0->1), 20 (1->2, pre-partition) and 30 (2->3,
+        // same side) delivered; 3->0 at 40 was dropped across the cut.
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 3);
+        assert_eq!(sim.kernel_stats().partition_drops, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label every node")]
+    fn partition_must_cover_all_nodes() {
+        let mut sim = ring_sim(4, 1);
+        sim.set_partition(vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in 0..=1")]
+    fn loss_probability_is_validated() {
+        let mut sim = ring_sim(4, 1);
+        sim.set_loss(1.5);
     }
 }

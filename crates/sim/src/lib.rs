@@ -77,18 +77,22 @@ mod kernel;
 mod latency;
 mod protocol;
 mod queue;
-mod recorder;
+pub mod recorder;
+pub mod scenario;
 mod stats;
 mod time;
 mod trace;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::NodeId;
-pub use kernel::{KernelStats, Sim, SimBuilder};
+pub use kernel::{KernelStats, PastScheduleError, Sim, SimBuilder};
 pub use latency::{FixedLatency, HashedLatency, LatencyModel};
 pub use protocol::{Ctx, HostBackend, Protocol, Timer, Wire};
 pub use queue::{EventQueue, Scheduled};
 pub use recorder::{FilterRecorder, FnRecorder, NullRecorder, Recorder, TeeRecorder, VecRecorder};
+pub use scenario::{
+    Fault, PlannedFault, PresenceTimeline, Scenario, ScenarioEnv, ScenarioPlan, Split,
+};
 pub use stats::{ClassCounters, TrafficClass, TrafficStats};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceRecorder};

@@ -9,8 +9,10 @@
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 use crate::id::NodeId;
+use crate::kernel::NetFaults;
 use crate::latency::LatencyModel;
 use crate::queue::EventQueue;
 use crate::recorder::Recorder;
@@ -95,6 +97,12 @@ pub(crate) enum KernelEvent<M, C> {
     Fail { node: NodeId },
     /// The kernel changes the state of the link between two nodes.
     SetLink { a: NodeId, b: NodeId, up: bool },
+    /// The kernel changes the injected message-loss probability (ppm).
+    SetLoss { ppm: u32 },
+    /// The kernel changes the injected latency jitter (max extra ns).
+    SetJitter { nanos: u64 },
+    /// The kernel installs (`Some`) or removes (`None`) a partition.
+    SetPartition { sides: Option<Vec<u32>> },
 }
 
 /// The world a protocol instance talks to when it is *not* running inside
@@ -121,6 +129,7 @@ enum CtxInner<'a, P: Protocol> {
         net: &'a dyn LatencyModel,
         recorder: &'a mut dyn Recorder<P::Event>,
         stats: &'a mut TrafficStats,
+        faults: &'a mut NetFaults,
     },
     Host(&'a mut dyn HostBackend<P>),
 }
@@ -154,6 +163,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         net: &'a dyn LatencyModel,
         recorder: &'a mut dyn Recorder<P::Event>,
         stats: &'a mut TrafficStats,
+        faults: &'a mut NetFaults,
     ) -> Self {
         Ctx {
             id,
@@ -164,6 +174,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
                 net,
                 recorder,
                 stats,
+                faults,
             },
         }
     }
@@ -210,17 +221,35 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     }
 
     /// Sends `msg` to `to`. Under the kernel, delivery is scheduled after
-    /// the network model's one-way latency and dropped if `to` has failed
-    /// by then; under a host, the message goes out on the real transport.
+    /// the network model's one-way latency (plus any injected jitter) and
+    /// dropped if `to` has failed by then or the injected loss probability
+    /// fires; under a host, the message goes out on the real transport.
     ///
-    /// Sending to self delivers after zero latency (still asynchronously).
+    /// Sending to self delivers after zero latency (still asynchronously)
+    /// and is exempt from loss/jitter injection: only the network between
+    /// distinct nodes is faulty.
     pub fn send(&mut self, to: NodeId, msg: P::Msg) {
         match &mut self.inner {
             CtxInner::Sim {
-                queue, net, stats, ..
+                queue,
+                net,
+                stats,
+                faults,
+                ..
             } => {
-                let latency = net.one_way(self.id, to);
+                let mut latency = net.one_way(self.id, to);
                 stats.record(self.id, to, msg.wire_size(), msg.class());
+                if faults.active() && to != self.id {
+                    if faults.loss_ppm > 0
+                        && faults.rng.gen_range(0..1_000_000u32) < faults.loss_ppm
+                    {
+                        faults.losses += 1;
+                        return;
+                    }
+                    if faults.jitter_ns > 0 {
+                        latency += Duration::from_nanos(faults.rng.gen_range(0..=faults.jitter_ns));
+                    }
+                }
                 queue.schedule(
                     self.now + latency,
                     KernelEvent::Deliver {

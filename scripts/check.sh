@@ -22,6 +22,26 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo doc --no-deps (missing docs are errors)"
+# First-party crates only: the vendored offline stand-ins under vendor/
+# are exempt from the docs gate. gocast-sim and gocast-core carry
+# #![warn(missing_docs)], which -D warnings turns into errors.
+FIRST_PARTY=(-p gocast-sim -p gocast-net -p gocast-membership -p gocast
+    -p gocast-baselines -p gocast-analysis -p gocast-experiments
+    -p gocast-udp -p gocast-bench -p gocast-tests -p gocast-examples)
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
+
+echo "==> cargo test --doc"
+cargo test -q --doc -p gocast-sim -p gocast-net -p gocast-membership \
+    -p gocast -p gocast-baselines -p gocast-analysis -p gocast-experiments \
+    -p gocast-udp
+
+echo "==> chaos smoke scenario (oracle-gated)"
+# A quick scenario-driven churn run; the subcommand exits nonzero if the
+# online invariant oracle reports any violation.
+cargo run --release -q -p gocast-experiments -- chaos --quick --nodes 64 \
+    --scenario churn --seeds 2 --no-csv
+
 echo "==> traced smoke experiment + invariant oracle"
 # A small traced GoCast run whose JSONL trace is then reconstructed and
 # checked by the invariant oracle; the subcommand exits nonzero on any
