@@ -193,6 +193,41 @@ fn bench_kernel_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Wire throughput of the loopback deployment fabric: how many GoCast
+/// protocol messages per wall-clock second an 8-node testnet moves
+/// through real UDP sockets in steady state (gossip + maintenance +
+/// heartbeats at deployment cadences). Unlike the kernel numbers above,
+/// this is bounded by real time, not CPU — it sizes the fabric's
+/// per-datagram overhead, and `testnet_msgs_per_sec` in the JSON is the
+/// sim-vs-wire reality gap in one number. Skipped (and reported `null`)
+/// where loopback sockets cannot be bound.
+fn bench_testnet(c: &mut Criterion) {
+    use gocast_testnet::{Testnet, TestnetConfig};
+    if !gocast_testnet::loopback_available() {
+        eprintln!("testnet bench skipped: loopback UDP unavailable");
+        return;
+    }
+    const SLICE: Duration = Duration::from_millis(250);
+    let mut g = c.benchmark_group("testnet");
+    g.sample_size(8);
+    let cfg = TestnetConfig::new(8).with_seed(9);
+    let mut net = Testnet::build_bootstrap(&cfg).expect("bind loopback");
+    // Let the overlay and tree form before measuring.
+    net.run_for(Duration::from_secs(2));
+    // Calibrate: wire messages in one steady-state slice.
+    let before = net.stats().wire_msgs;
+    net.run_for(SLICE);
+    let per_slice = (net.stats().wire_msgs - before).max(1);
+    g.throughput(Throughput::Elements(per_slice));
+    g.bench_function("wire_msgs_per_quarter_second_8", |b| {
+        b.iter(|| {
+            net.run_for(SLICE);
+            net.stats().wire_msgs
+        })
+    });
+    g.finish();
+}
+
 fn bench_analysis(c: &mut Criterion) {
     let mut g = c.benchmark_group("analysis");
     // Degree-6 random graph, 1024 nodes.
@@ -231,7 +266,7 @@ criterion_group! {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
     targets = bench_event_queue, bench_latency_models, bench_gocast_sim,
-        bench_kernel_throughput, bench_analysis
+        bench_kernel_throughput, bench_testnet, bench_analysis
 }
 
 /// JSON string escaping is unnecessary for our ASCII benchmark ids, but
@@ -270,8 +305,12 @@ fn main() {
         rate_of("kernel/events_per_steady_second_128"),
     ));
     json.push_str(&format!(
-        "  \"kernel_events_per_sec_traced\": {}\n}}\n",
+        "  \"kernel_events_per_sec_traced\": {},\n",
         rate_of("kernel/events_per_steady_second_128_traced"),
+    ));
+    json.push_str(&format!(
+        "  \"testnet_msgs_per_sec\": {}\n}}\n",
+        rate_of("testnet/wire_msgs_per_quarter_second_8"),
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
     match std::fs::write(path, &json) {

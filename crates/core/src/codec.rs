@@ -710,6 +710,57 @@ mod tests {
     }
 
     #[test]
+    fn decode_survives_random_prefixes_and_mutations_of_every_variant() {
+        // A datagram off a real socket can arrive truncated or corrupted;
+        // `decode` must return an error (or a different valid message,
+        // e.g. when the mutated byte was payload) and never panic. Each
+        // case exercises every message variant with a random prefix cut
+        // and a random single-byte mutation, plus pure-noise buffers.
+        use proptest::prelude::*;
+        use rand::{Rng, RngCore};
+        proptest::run_cases(
+            "decode_survives_random_prefixes_and_mutations_of_every_variant",
+            |rng| {
+                for variant in 0..14u8 {
+                    let msg = arb_msg(variant, rng);
+                    let bytes = encode(&msg);
+                    let decoded = decode(&bytes);
+                    prop_assert_eq!(decoded.as_ref(), Ok(&msg));
+
+                    // Random prefix: always an error, never a panic.
+                    let cut = rng.gen_range(0..bytes.len());
+                    prop_assert!(
+                        decode(&bytes[..cut]).is_err(),
+                        "{:?} decoded from a {}/{} prefix",
+                        &msg,
+                        cut,
+                        bytes.len()
+                    );
+
+                    // Random single-byte mutation: must not panic. It may
+                    // decode (the flip hit payload bytes) or fail; both
+                    // are fine, crashing is not.
+                    let mut mutated = bytes.clone();
+                    let at = rng.gen_range(0..mutated.len());
+                    mutated[at] ^= (rng.next_u64() as u8) | 1; // guaranteed flip
+                    let _ = decode(&mutated);
+
+                    // Mutated then truncated — the combination a lossy
+                    // wire actually produces.
+                    let cut = rng.gen_range(0..=mutated.len());
+                    let _ = decode(&mutated[..cut]);
+                }
+                // Pure noise of arbitrary length.
+                let len = rng.gen_range(0..256usize);
+                let mut noise = vec![0u8; len];
+                rng.fill_bytes(&mut noise);
+                let _ = decode(&noise);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
     fn trailing_bytes_are_rejected() {
         let mut bytes = encode(&GoCastMsg::JoinRequest);
         bytes.push(0);

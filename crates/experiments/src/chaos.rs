@@ -391,6 +391,9 @@ pub fn builtin_scenario(name: &str, opts: &ExpOptions) -> Option<Scenario> {
     let span = opts.inject_duration().max(Duration::from_secs(30));
     let crowd = (opts.nodes / 8).max(2);
     Some(match name {
+        // Fault-free control: the scenario machinery runs but injects
+        // nothing. Useful as the conformance/chaos reference point.
+        "baseline" => Scenario::new(),
         // Paper §4 "dependability under churn": continuous Poisson
         // leave/rejoin at ~12 events/min while messages flow.
         "churn" => Scenario::new().churn(Duration::ZERO, span, 0.2, 0.2),
@@ -416,7 +419,14 @@ pub fn builtin_scenario(name: &str, opts: &ExpOptions) -> Option<Scenario> {
 
 /// Names accepted by [`builtin_scenario`].
 pub fn builtin_names() -> &'static [&'static str] {
-    &["churn", "catastrophe", "partition", "flashcrowd", "lossy"]
+    &[
+        "baseline",
+        "churn",
+        "catastrophe",
+        "partition",
+        "flashcrowd",
+        "lossy",
+    ]
 }
 
 /// Parses a scenario spec string: semicolon-separated `name(k=v,...)`

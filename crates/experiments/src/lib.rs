@@ -23,6 +23,7 @@ pub mod figures;
 mod options;
 pub mod runners;
 pub mod sweep;
+pub mod testnet;
 
 pub use options::ExpOptions;
 pub use runners::{DelayStats, ExpRecorder, Proto};

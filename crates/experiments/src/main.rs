@@ -25,6 +25,9 @@
 //! trace-fail  same with 20% concurrent failures (measures recovery)
 //! chaos   scenario-driven faults (churn, site crashes, partitions, loss)
 //!         with recovery metrics and the online invariant oracle
+//! testnet sim-vs-wire conformance: the same workload through the
+//!         simulator and through real loopback-UDP nodes (wall-clock
+//!         defaults: 16 nodes, 200 messages; accepts --scenario/--spec)
 //! all     everything above at full scale
 //! ```
 //!
@@ -35,10 +38,11 @@
 //! (fan independent runs across N worker threads; output is byte-identical
 //! to the default fully serial `--jobs 1`).
 //!
-//! `chaos`-only flags: `--scenario NAME` (one of churn, catastrophe,
-//! partition, flashcrowd, lossy; default churn), `--spec STR` (an ad-hoc
-//! scenario spec like `churn(end=60,leave=0.5,join=0.5);loss(p=0.01)`,
-//! overriding `--scenario`), `--seeds K` (run K consecutive seeds,
+//! `chaos`/`testnet` flags: `--scenario NAME` (one of baseline, churn,
+//! catastrophe, partition, flashcrowd, lossy; default churn for `chaos`,
+//! baseline for `testnet`), `--spec STR` (an ad-hoc scenario spec like
+//! `churn(end=60,leave=0.5,join=0.5);loss(p=0.01)`, overriding
+//! `--scenario`), `--seeds K` (`chaos` only: run K consecutive seeds,
 //! composable with `--jobs`).
 
 use std::time::Duration;
@@ -47,7 +51,7 @@ use gocast_experiments::{figures, ExpOptions};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|all> \
+        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|testnet|all> \
          [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--jobs N] \
          [--scenario NAME] [--spec STR] [--seeds K]"
     );
@@ -246,6 +250,21 @@ fn main() {
             if outcomes.iter().any(|o| o.violations > 0) {
                 eprintln!("done in {:?}", t0.elapsed());
                 std::process::exit(1);
+            }
+        }
+        "testnet" => {
+            // `chaos` defaults --scenario to churn; the conformance
+            // reference point is the fault-free baseline.
+            let explicit = args.iter().any(|a| a == "--scenario");
+            let scenario = if explicit {
+                cli.scenario.as_str()
+            } else {
+                "baseline"
+            };
+            let code = gocast_experiments::testnet::testnet(&opts, scenario, cli.spec.as_deref());
+            if code != 0 {
+                eprintln!("done in {:?}", t0.elapsed());
+                std::process::exit(code);
             }
         }
         "all" => {

@@ -1,0 +1,161 @@
+//! The `testnet` subcommand: sim-vs-wire conformance on real sockets.
+//!
+//! Runs the differential harness from `gocast_testnet::conformance` —
+//! the same workload through the virtual-time simulator and through N
+//! real loopback-UDP nodes — and fails (exit 1) if the two sides
+//! disagree beyond tolerance or either trace violates a protocol
+//! invariant.
+//!
+//! Because the wire side runs in *wall-clock* time, this experiment uses
+//! its own deployment-scale defaults (16 nodes, 200 messages, 3 s
+//! warm-up, 3 s drain, `gocast_testnet::deployment_config` cadences)
+//! wherever the corresponding CLI flag was left at the simulation
+//! default; explicit `--nodes/--messages/--warmup/--drain/--rate/--seed`
+//! still win. `--scenario NAME` / `--spec STR` attach a chaos scenario,
+//! compiled once and replayed identically on both sides.
+//!
+//! Environments that cannot bind loopback sockets (some sandboxes) are
+//! reported and skipped with exit 0, so CI stays green without sockets.
+
+use std::time::Duration;
+
+use gocast_testnet::conformance::ConformanceOptions;
+use gocast_testnet::{deployment_config, loopback_available};
+
+use crate::chaos::{builtin_names, builtin_scenario, parse_spec};
+use crate::ExpOptions;
+
+/// Builds the conformance options the CLI flags resolve to (exposed for
+/// tests; see the module docs for the defaulting rule).
+pub fn resolve(
+    opts: &ExpOptions,
+    scenario: &str,
+    spec: Option<&str>,
+) -> Result<ConformanceOptions, String> {
+    let d = ExpOptions::default();
+    let mut conf = ConformanceOptions::new(
+        if opts.nodes == d.nodes {
+            16
+        } else {
+            opts.nodes
+        },
+        if opts.messages == d.messages {
+            200
+        } else {
+            opts.messages as usize
+        },
+    )
+    .with_seed(opts.seed);
+    conf.warmup = if opts.warmup == d.warmup {
+        Duration::from_secs(3)
+    } else {
+        opts.warmup
+    };
+    conf.drain = if opts.drain == d.drain {
+        Duration::from_secs(3)
+    } else {
+        opts.drain
+    };
+    conf.rate = opts.rate;
+    conf.protocol = deployment_config();
+
+    let scenario = match spec {
+        Some(s) => Some(parse_spec(s).map_err(|e| format!("--spec: {e}"))?),
+        None => {
+            let sc = builtin_scenario(scenario, opts).ok_or_else(|| {
+                format!(
+                    "unknown scenario `{scenario}` (valid: {})",
+                    builtin_names().join(", ")
+                )
+            })?;
+            // An empty scenario (the `baseline` preset) keeps the strict
+            // delivery gate; attaching it would relax it for nothing.
+            (sc.step_count() > 0).then_some(sc)
+        }
+    };
+    if let Some(sc) = scenario {
+        conf = conf.with_scenario(sc);
+    }
+    Ok(conf)
+}
+
+/// Runs the conformance harness and returns the process exit code.
+pub fn testnet(opts: &ExpOptions, scenario: &str, spec: Option<&str>) -> i32 {
+    if !loopback_available() {
+        eprintln!("testnet: loopback UDP unavailable in this environment; skipping");
+        return 0;
+    }
+    let conf = match resolve(opts, scenario, spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("testnet: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "testnet: {} nodes, {} messages @ {:.0}/s, warmup {:?}, drain {:?}, seed {}{}",
+        conf.nodes,
+        conf.messages,
+        conf.rate,
+        conf.warmup,
+        conf.drain,
+        conf.seed,
+        if conf.scenario.is_some() {
+            " (chaos scenario attached)"
+        } else {
+            ""
+        }
+    );
+    let report = match conf.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("testnet: run failed: {e}");
+            return 1;
+        }
+    };
+    print!("{}", report.render());
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!("conformance: PASS");
+        0
+    } else {
+        for f in &failures {
+            println!("conformance FAIL: {f}");
+        }
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve_to_deployment_scale() {
+        let opts = ExpOptions::default();
+        let conf = resolve(&opts, "baseline", None).unwrap();
+        assert_eq!(conf.nodes, 16);
+        assert_eq!(conf.messages, 200);
+        assert_eq!(conf.warmup, Duration::from_secs(3));
+        assert!(conf.scenario.is_none(), "baseline must stay strict");
+        assert!(conf.tol.require_delivery);
+    }
+
+    #[test]
+    fn explicit_flags_and_scenarios_win() {
+        let opts = ExpOptions {
+            nodes: 8,
+            messages: 50,
+            ..ExpOptions::default()
+        };
+        let conf = resolve(&opts, "partition", None).unwrap();
+        assert_eq!(conf.nodes, 8);
+        assert_eq!(conf.messages, 50);
+        assert!(conf.scenario.is_some());
+        assert!(
+            !conf.tol.require_delivery,
+            "chaos relaxes the delivery gate"
+        );
+        assert!(resolve(&opts, "nonsense", None).is_err());
+    }
+}

@@ -1,0 +1,449 @@
+//! Sim-vs-wire differential conformance.
+//!
+//! The simulator and the testnet host the *same* protocol state machine
+//! behind the same [`gocast_sim::HostBackend`] seam; what differs is the
+//! world around it — virtual time and a latency matrix versus real
+//! sockets and the OS scheduler. This harness runs one workload through
+//! both and demands the protocol-level outcomes agree:
+//!
+//! - both sides run the same node count, protocol configuration,
+//!   bootstrap graph (same seed), injection schedule, and (optionally)
+//!   the same compiled chaos scenario;
+//! - both sides' traces are rendered as PR-2 JSONL and pushed through
+//!   the *identical* `gocast-analysis` pipeline — [`scan_trace`], the
+//!   [`InvariantOracle`], and [`TraceAnalysis`] — proving the wire trace
+//!   is consumable unchanged;
+//! - the resulting delivery ratios, hop histograms, and tree-vs-pull
+//!   recovery fractions must match within stated tolerances.
+//!
+//! Exact equality is not the bar: the wire side sees real jitter,
+//! discovery round-trips, and scheduling noise, so hop counts and
+//! recovery fractions wander. What must *not* wander is the shape —
+//! near-total delivery, histograms concentrated at the same depths, and
+//! comparable reliance on pull recovery.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use gocast::{bootstrap_random_graph, GoCastCommand, GoCastConfig, GoCastNode};
+use gocast_analysis::trace::{scan_trace, InvariantOracle, TraceAnalysis};
+use gocast_sim::scenario::{Scenario, ScenarioEnv};
+use gocast_sim::{HashedLatency, NodeId, SimBuilder, SimTime, TraceRecorder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fabric::{Testnet, TestnetConfig};
+
+/// Agreement thresholds for [`ConformanceReport::failures`].
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Minimum delivery ratio demanded of *each* side (only enforced
+    /// when [`Tolerances::require_delivery`] is set; chaos scenarios
+    /// legitimately lose deliveries to crashed/left nodes).
+    pub min_delivery: f64,
+    /// Maximum allowed |sim − wire| difference in mean hop count.
+    pub mean_hops_diff: f64,
+    /// Maximum allowed |sim − wire| difference in pull-recovery fraction.
+    pub recovery_diff: f64,
+    /// Maximum allowed total-variation distance between the two
+    /// (normalized) hop histograms.
+    pub hist_tv: f64,
+    /// Whether to enforce [`Tolerances::min_delivery`].
+    pub require_delivery: bool,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            min_delivery: 0.999,
+            mean_hops_diff: 2.5,
+            recovery_diff: 0.25,
+            hist_tv: 0.35,
+            require_delivery: true,
+        }
+    }
+}
+
+/// One conformance run's shape: workload, timing, protocol, and an
+/// optional chaos scenario applied identically to both sides.
+#[derive(Debug)]
+pub struct ConformanceOptions {
+    /// Node count (both sides).
+    pub nodes: usize,
+    /// Multicasts to inject from random origins.
+    pub messages: usize,
+    /// Run seed: bootstrap graph, injection schedule, per-node RNGs, and
+    /// scenario compilation all derive from it on both sides.
+    pub seed: u64,
+    /// Overlay/tree formation time before the first injection.
+    pub warmup: Duration,
+    /// Injection rate in messages per second.
+    pub rate: f64,
+    /// Settling time after the last injection (pull recovery tail).
+    pub drain: Duration,
+    /// Protocol configuration (identical on both sides).
+    pub protocol: GoCastConfig,
+    /// Chaos scenario compiled with the same seed for both sides and
+    /// anchored at the end of warm-up. `None` runs fault-free.
+    pub scenario: Option<Scenario>,
+    /// Agreement thresholds.
+    pub tol: Tolerances,
+}
+
+impl ConformanceOptions {
+    /// A fault-free run of `messages` multicasts over `nodes` nodes with
+    /// deployment cadences, 3 s warm-up, 100 msg/s, 3 s drain, seed 42.
+    pub fn new(nodes: usize, messages: usize) -> Self {
+        ConformanceOptions {
+            nodes,
+            messages,
+            seed: 42,
+            warmup: Duration::from_secs(3),
+            rate: 100.0,
+            drain: Duration::from_secs(3),
+            protocol: crate::deployment_config(),
+            scenario: None,
+            tol: Tolerances::default(),
+        }
+    }
+
+    /// Attaches a chaos scenario (applied to both sides) and relaxes the
+    /// absolute delivery gate, since node faults shrink the receiver set.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self.tol.require_delivery = false;
+        self
+    }
+
+    /// Replaces the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total run length: warm-up, injection window, drain.
+    pub fn total(&self) -> Duration {
+        let window = Duration::from_secs_f64(self.messages as f64 / self.rate);
+        self.warmup + window + self.drain
+    }
+
+    /// The horizon both sides actually run to: [`ConformanceOptions::total`]
+    /// extended to cover every planned fault plus a drain tail, so a chaos
+    /// scenario sized longer than the injection window still executes (and
+    /// heals) inside the run.
+    fn horizon(&self, plan: Option<&gocast_sim::scenario::ScenarioPlan>) -> Duration {
+        match plan.and_then(|p| p.end()) {
+            Some(end) => self
+                .total()
+                .max(Duration::from_nanos(end.as_nanos()) + self.drain),
+            None => self.total(),
+        }
+    }
+
+    /// The injection schedule both sides share: message `k` fires at
+    /// `warmup + k/rate` from a seed-derived random origin.
+    fn injections(&self) -> Vec<(SimTime, NodeId)> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x5EED);
+        (0..self.messages)
+            .map(|k| {
+                let at = SimTime::from_nanos(
+                    self.warmup.as_nanos() as u64 + (k as f64 / self.rate * 1e9) as u64,
+                );
+                (at, NodeId::new(rng.gen_range(0..self.nodes) as u32))
+            })
+            .collect()
+    }
+
+    fn compile_plan(&self) -> Option<gocast_sim::scenario::ScenarioPlan> {
+        self.scenario.as_ref().map(|sc| {
+            let env = ScenarioEnv::new(self.nodes, self.seed)
+                .starting_at(SimTime::from_nanos(self.warmup.as_nanos() as u64));
+            sc.compile(&env)
+        })
+    }
+
+    /// Runs both sides and compares them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the wire side and trace-parse errors
+    /// from either side's analysis pass (a parse error on the wire side
+    /// would itself be a conformance failure of the trace format).
+    pub fn run(&self) -> io::Result<ConformanceReport> {
+        let sim = self.run_sim()?;
+        let wire = self.run_wire()?;
+        Ok(ConformanceReport {
+            sim,
+            wire,
+            tol: self.tol,
+        })
+    }
+
+    /// The simulation side: virtual time over a loopback-like latency
+    /// matrix (hash-distributed 100–900 µs, matching what two processes
+    /// on one host see).
+    pub fn run_sim(&self) -> io::Result<SideReport> {
+        let latency = HashedLatency::new(
+            self.nodes,
+            Duration::from_micros(100),
+            Duration::from_micros(900),
+            self.seed,
+        );
+        let links = (self.protocol.c_degree() / 2).max(1);
+        let mut boot = bootstrap_random_graph(self.nodes, links, self.seed ^ 0xB007);
+        let protocol = self.protocol.clone();
+        let mut sim = SimBuilder::new(latency).seed(self.seed).build_with(
+            TraceRecorder::new(Vec::new()),
+            |id| {
+                let (l, m) = boot(id);
+                GoCastNode::with_initial_links(id, protocol.clone(), l, m)
+            },
+        );
+        let plan = self.compile_plan();
+        let horizon = self.horizon(plan.as_ref());
+        if let Some(plan) = &plan {
+            plan.schedule_into(
+                &mut sim,
+                |contact| GoCastCommand::Join { contact },
+                || GoCastCommand::Leave,
+            );
+        }
+        for (at, origin) in self.injections() {
+            sim.schedule_command(at, origin, GoCastCommand::Multicast);
+        }
+        let started = Instant::now();
+        sim.run_until(SimTime::from_nanos(horizon.as_nanos() as u64));
+        let elapsed = started.elapsed();
+        let jsonl = sim.into_recorder().finish()?;
+        self.analyze("sim", &jsonl, elapsed)
+    }
+
+    /// The wire side: the same workload over real loopback sockets.
+    pub fn run_wire(&self) -> io::Result<SideReport> {
+        let cfg = TestnetConfig {
+            nodes: self.nodes,
+            seed_count: self.nodes.min(3),
+            seed: self.seed,
+            protocol: self.protocol.clone(),
+        };
+        let mut net = Testnet::build_bootstrap(&cfg)?;
+        let plan = self.compile_plan();
+        let horizon = self.horizon(plan.as_ref());
+        if let Some(plan) = &plan {
+            net.attach_plan(plan);
+        }
+        for (at, origin) in self.injections() {
+            net.schedule_command(at, origin, GoCastCommand::Multicast);
+        }
+        let started = Instant::now();
+        net.run_for(horizon);
+        let elapsed = started.elapsed();
+        let jsonl = net.trace_jsonl();
+        self.analyze("wire", &jsonl, elapsed)
+    }
+
+    /// Shared analysis pass: JSONL bytes → [`scan_trace`] →
+    /// [`InvariantOracle`] + [`TraceAnalysis`]. Identical for both sides
+    /// by construction.
+    fn analyze(&self, side: &str, jsonl: &[u8], elapsed: Duration) -> io::Result<SideReport> {
+        let mut oracle = InvariantOracle::for_protocol(&self.protocol);
+        let mut analysis = TraceAnalysis::new();
+        let records = scan_trace(jsonl, |rec| {
+            oracle.check(&rec);
+            analysis.feed(&rec);
+        })
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{side} trace: {e}")))?;
+        oracle.finish();
+        let report = analysis.report();
+        let expected = (self.messages * self.nodes.saturating_sub(1)) as u64;
+        let deliveries = report.deliveries;
+        Ok(SideReport {
+            delivery_ratio: if expected == 0 {
+                1.0
+            } else {
+                deliveries as f64 / expected as f64
+            },
+            deliveries,
+            mean_hops: report.mean_hops(),
+            max_hop: report.max_hop(),
+            hop_histogram: report.hop_histogram.clone(),
+            recovery_fraction: report.recovery_fraction(),
+            violations: oracle.violations().len(),
+            trace_records: records,
+            elapsed,
+            msgs_per_sec: if elapsed.is_zero() {
+                0.0
+            } else {
+                deliveries as f64 / elapsed.as_secs_f64()
+            },
+        })
+    }
+}
+
+/// What one side (sim or wire) measured.
+#[derive(Debug, Clone)]
+pub struct SideReport {
+    /// Deliveries over `messages × (nodes − 1)`.
+    pub delivery_ratio: f64,
+    /// Raw delivery count.
+    pub deliveries: u64,
+    /// Mean delivery hop count.
+    pub mean_hops: f64,
+    /// Deepest delivery hop observed.
+    pub max_hop: u32,
+    /// Deliveries per hop count (`hop_histogram[h]` = deliveries at `h`).
+    pub hop_histogram: Vec<u64>,
+    /// Fraction of deliveries that arrived via gossip pull recovery.
+    pub recovery_fraction: f64,
+    /// Invariant-oracle violations in the trace.
+    pub violations: usize,
+    /// JSONL records scanned.
+    pub trace_records: u64,
+    /// Wall-clock time the side took.
+    pub elapsed: Duration,
+    /// Delivery throughput: deliveries per wall-clock second.
+    pub msgs_per_sec: f64,
+}
+
+/// Both sides plus the thresholds they were compared under.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Simulation-side measurements.
+    pub sim: SideReport,
+    /// Wire-side measurements.
+    pub wire: SideReport,
+    /// The thresholds applied.
+    pub tol: Tolerances,
+}
+
+/// Total-variation distance between two hop histograms, each normalized
+/// to a probability distribution (0 = identical shape, 1 = disjoint).
+pub fn histogram_tv(a: &[u64], b: &[u64]) -> f64 {
+    let (sa, sb) = (a.iter().sum::<u64>() as f64, b.iter().sum::<u64>() as f64);
+    if sa == 0.0 || sb == 0.0 {
+        return if sa == sb { 0.0 } else { 1.0 };
+    }
+    let len = a.len().max(b.len());
+    (0..len)
+        .map(|i| {
+            let pa = a.get(i).copied().unwrap_or(0) as f64 / sa;
+            let pb = b.get(i).copied().unwrap_or(0) as f64 / sb;
+            (pa - pb).abs()
+        })
+        .sum::<f64>()
+        / 2.0
+}
+
+impl ConformanceReport {
+    /// Every threshold the run violated, as human-readable strings.
+    /// Empty means the sides conform.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let t = &self.tol;
+        for (side, r) in [("sim", &self.sim), ("wire", &self.wire)] {
+            if t.require_delivery && r.delivery_ratio < t.min_delivery {
+                out.push(format!(
+                    "{side} delivery ratio {:.4} below {:.4}",
+                    r.delivery_ratio, t.min_delivery
+                ));
+            }
+            if r.violations > 0 {
+                out.push(format!(
+                    "{side} trace has {} oracle violations",
+                    r.violations
+                ));
+            }
+        }
+        let hops = (self.sim.mean_hops - self.wire.mean_hops).abs();
+        if hops > t.mean_hops_diff {
+            out.push(format!(
+                "mean-hop gap {hops:.2} exceeds {:.2} (sim {:.2}, wire {:.2})",
+                t.mean_hops_diff, self.sim.mean_hops, self.wire.mean_hops
+            ));
+        }
+        let rec = (self.sim.recovery_fraction - self.wire.recovery_fraction).abs();
+        if rec > t.recovery_diff {
+            out.push(format!(
+                "recovery-fraction gap {rec:.3} exceeds {:.3} (sim {:.3}, wire {:.3})",
+                t.recovery_diff, self.sim.recovery_fraction, self.wire.recovery_fraction
+            ));
+        }
+        let tv = histogram_tv(&self.sim.hop_histogram, &self.wire.hop_histogram);
+        if tv > t.hist_tv {
+            out.push(format!(
+                "hop-histogram TV distance {tv:.3} exceeds {:.3}",
+                t.hist_tv
+            ));
+        }
+        out
+    }
+
+    /// Whether every threshold held.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// A compact table of the comparison, for CLI output.
+    pub fn render(&self) -> String {
+        let tv = histogram_tv(&self.sim.hop_histogram, &self.wire.hop_histogram);
+        let mut s = String::new();
+        s.push_str("metric               sim        wire\n");
+        s.push_str(&format!(
+            "delivery ratio    {:>8.4}  {:>8.4}\n",
+            self.sim.delivery_ratio, self.wire.delivery_ratio
+        ));
+        s.push_str(&format!(
+            "mean hops         {:>8.2}  {:>8.2}\n",
+            self.sim.mean_hops, self.wire.mean_hops
+        ));
+        s.push_str(&format!(
+            "max hop           {:>8}  {:>8}\n",
+            self.sim.max_hop, self.wire.max_hop
+        ));
+        s.push_str(&format!(
+            "recovery frac     {:>8.3}  {:>8.3}\n",
+            self.sim.recovery_fraction, self.wire.recovery_fraction
+        ));
+        s.push_str(&format!(
+            "oracle violations {:>8}  {:>8}\n",
+            self.sim.violations, self.wire.violations
+        ));
+        s.push_str(&format!(
+            "trace records     {:>8}  {:>8}\n",
+            self.sim.trace_records, self.wire.trace_records
+        ));
+        s.push_str(&format!(
+            "msgs/sec          {:>8.0}  {:>8.0}\n",
+            self.sim.msgs_per_sec, self.wire.msgs_per_sec
+        ));
+        s.push_str(&format!("hop-histogram TV  {tv:>8.3}\n"));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tv_basics() {
+        assert_eq!(histogram_tv(&[], &[]), 0.0);
+        assert_eq!(histogram_tv(&[10, 0], &[5, 0]), 0.0); // same shape
+        assert_eq!(histogram_tv(&[10, 0], &[0, 10]), 1.0); // disjoint
+        let tv = histogram_tv(&[5, 5], &[10, 0]);
+        assert!((tv - 0.5).abs() < 1e-9);
+        assert_eq!(histogram_tv(&[1], &[]), 1.0); // one empty
+    }
+
+    #[test]
+    fn injection_schedule_is_deterministic_and_paced() {
+        let opts = ConformanceOptions::new(8, 10);
+        let a = opts.injections();
+        let b = opts.injections();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a[0].0, SimTime::from_secs(3));
+        assert!(a[9].0 > a[0].0);
+        assert!(a.iter().all(|(_, n)| n.index() < 8));
+    }
+}

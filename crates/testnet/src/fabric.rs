@@ -1,0 +1,854 @@
+//! The deployment fabric: N GoCast nodes on loopback UDP, one thread.
+//!
+//! Each node gets its own non-blocking [`UdpSocket`] bound to an ephemeral
+//! `127.0.0.1` port, its own deterministic RNG, and its own
+//! [`TimerWheel`] (the scheduler shared with `gocast-udp`'s single-node
+//! host). A single synchronous event loop drives all of them:
+//!
+//! 1. replay due [`ScenarioPlan`] faults into the impairment shim /
+//!    protocol commands;
+//! 2. fire due protocol commands scheduled by the harness;
+//! 3. fire due timers per node;
+//! 4. release impairment-delayed datagrams whose hold expired;
+//! 5. drain every socket (`recv_from` until `WouldBlock`), decode the
+//!    transport frame, learn the sender's address, and dispatch;
+//! 6. if the iteration did no work, sleep until the earliest known
+//!    deadline (capped at 500 µs, since loopback arrivals cannot
+//!    interrupt a sleep).
+//!
+//! The protocol sees fabric-monotonic [`SimTime`] (zero at the first
+//! `run_for` call), which makes the wire-side trace directly consumable
+//! by the PR-2 analysis pipeline.
+
+use std::collections::BinaryHeap;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use gocast::{decode, encode, GoCastCommand, GoCastConfig, GoCastEvent, GoCastMsg, GoCastNode};
+use gocast_sim::scenario::{Fault, PlannedFault, ScenarioPlan};
+use gocast_sim::{
+    Ctx, FxHashMap, HostBackend, NodeId, Protocol, Recorder, SimTime, Timer, TraceRecorder,
+};
+use gocast_udp::TimerWheel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::bootstrap::{decode_frame, encode_data, encode_peer, encode_whohas, Frame, PeerTable};
+use crate::impair::{Impairments, Verdict};
+
+/// Messages queued per unknown peer before the oldest is dropped.
+const PENDING_CAP: usize = 64;
+/// Outstanding who-has questions a node remembers on behalf of others.
+const WANTED_CAP: usize = 256;
+/// Idle-sleep cap: loopback arrivals cannot interrupt a sleep, so the
+/// loop never sleeps longer than this past "nothing to do".
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+/// How a fabric is laid out: node count, how many of them are bootstrap
+/// seeds, the run seed, and the protocol configuration.
+#[derive(Debug, Clone)]
+pub struct TestnetConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// The first `seed_count` nodes are bootstrap seeds: their addresses
+    /// are the only ones every node is configured with.
+    pub seed_count: usize,
+    /// Run seed (per-node RNGs and the impairment stream derive from it).
+    pub seed: u64,
+    /// Protocol configuration (defaults to [`crate::deployment_config`]).
+    pub protocol: GoCastConfig,
+}
+
+impl TestnetConfig {
+    /// A fabric of `nodes` nodes with deployment cadences, seed 42, and
+    /// `min(3, nodes)` bootstrap seeds.
+    pub fn new(nodes: usize) -> Self {
+        TestnetConfig {
+            nodes,
+            seed_count: nodes.min(3),
+            seed: 42,
+            protocol: crate::deployment_config(),
+        }
+    }
+
+    /// Replaces the run seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Wire-side counters, separate from the protocol's own
+/// [`gocast::ProtocolCounters`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricStats {
+    /// Datagrams handed to the OS (`send_to` calls that did not error).
+    pub datagrams_sent: u64,
+    /// Datagrams read off sockets.
+    pub datagrams_received: u64,
+    /// GoCast protocol messages decoded and dispatched.
+    pub wire_msgs: u64,
+    /// Datagrams dropped by injected loss.
+    pub dropped_loss: u64,
+    /// Datagrams dropped crossing a partition.
+    pub dropped_partition: u64,
+    /// Datagrams dropped on a cut link.
+    pub dropped_cut: u64,
+    /// Datagrams dropped to/from crashed nodes.
+    pub dropped_crashed: u64,
+    /// Datagrams held back by injected jitter.
+    pub delayed: u64,
+    /// Address queries sent (bootstrap discovery).
+    pub whohas_sent: u64,
+    /// Address answers sent.
+    pub peer_replies: u64,
+    /// Protocol sends dropped because the peer address stayed unknown.
+    pub unresolved_dropped: u64,
+    /// Datagrams that failed transport-frame or codec decoding.
+    pub malformed: u64,
+}
+
+/// A datagram held back by the jitter impairment.
+#[derive(Debug)]
+struct DelayedDatagram {
+    release_at: Instant,
+    seq: u64,
+    from_index: usize,
+    dest: SocketAddr,
+    bytes: Vec<u8>,
+}
+
+impl PartialEq for DelayedDatagram {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for DelayedDatagram {}
+impl PartialOrd for DelayedDatagram {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedDatagram {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.release_at, other.seq).cmp(&(self.release_at, self.seq))
+    }
+}
+
+/// One hosted node: protocol state machine plus its transport state.
+#[derive(Debug)]
+struct NodeSlot {
+    node: GoCastNode,
+    socket: UdpSocket,
+    addr: SocketAddr,
+    rng: SmallRng,
+    timers: TimerWheel,
+    peers: PeerTable,
+    /// Framed datagrams awaiting address resolution, per unknown peer.
+    pending: FxHashMap<NodeId, Vec<Vec<u8>>>,
+    /// Questions this node could not answer yet: target → askers.
+    wanted: FxHashMap<NodeId, Vec<(NodeId, SocketAddr)>>,
+    wanted_len: usize,
+}
+
+/// The process-local deployment fabric. See the [crate docs](crate).
+#[derive(Debug)]
+pub struct Testnet {
+    epoch: Instant,
+    started: bool,
+    nodes: Vec<NodeSlot>,
+    impair: Impairments,
+    plan: Vec<PlannedFault>,
+    plan_next: usize,
+    cmds: Vec<(SimTime, NodeId, GoCastCommand)>,
+    cmds_next: usize,
+    delayed: BinaryHeap<DelayedDatagram>,
+    delayed_seq: u64,
+    trace: Vec<(SimTime, NodeId, GoCastEvent)>,
+    stats: FabricStats,
+}
+
+impl Testnet {
+    /// Binds `cfg.nodes` loopback sockets and builds one node per slot
+    /// via `make` (which receives the node's id and must apply
+    /// `cfg.protocol` itself, mirroring `SimBuilder::build_with`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors (e.g. no loopback available).
+    pub fn build(
+        cfg: &TestnetConfig,
+        mut make: impl FnMut(NodeId) -> GoCastNode,
+    ) -> std::io::Result<Self> {
+        assert!(cfg.nodes > 0, "a testnet needs at least one node");
+        assert!(
+            (1..=cfg.nodes).contains(&cfg.seed_count),
+            "seed_count must be in 1..=nodes"
+        );
+        let sockets: Vec<(UdpSocket, SocketAddr)> = (0..cfg.nodes)
+            .map(|_| {
+                let s = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+                s.set_nonblocking(true)?;
+                let a = s.local_addr()?;
+                Ok((s, a))
+            })
+            .collect::<std::io::Result<_>>()?;
+        let seeds: Vec<(NodeId, SocketAddr)> = sockets[..cfg.seed_count]
+            .iter()
+            .enumerate()
+            .map(|(i, (_, a))| (NodeId::new(i as u32), *a))
+            .collect();
+        let nodes = sockets
+            .into_iter()
+            .enumerate()
+            .map(|(i, (socket, addr))| {
+                let id = NodeId::new(i as u32);
+                let mut peers = PeerTable::new(seeds.clone());
+                peers.learn(id, addr); // a node always knows itself
+                NodeSlot {
+                    node: make(id),
+                    socket,
+                    addr,
+                    // Same per-node stream derivation as `SimBuilder`.
+                    rng: SmallRng::seed_from_u64(
+                        cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i as u64,
+                    ),
+                    timers: TimerWheel::new(),
+                    peers,
+                    pending: FxHashMap::default(),
+                    wanted: FxHashMap::default(),
+                    wanted_len: 0,
+                }
+            })
+            .collect();
+        Ok(Testnet {
+            epoch: Instant::now(),
+            started: false,
+            nodes,
+            impair: Impairments::new(cfg.nodes, cfg.seed),
+            plan: Vec::new(),
+            plan_next: 0,
+            cmds: Vec::new(),
+            cmds_next: 0,
+            delayed: BinaryHeap::new(),
+            delayed_seq: 0,
+            trace: Vec::new(),
+            stats: FabricStats::default(),
+        })
+    }
+
+    /// Builds a fabric whose nodes start from the paper's bootstrap state
+    /// (random graph + partial member views), the same construction the
+    /// simulation experiments use — only addresses are learned at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    pub fn build_bootstrap(cfg: &TestnetConfig) -> std::io::Result<Self> {
+        let links = (cfg.protocol.c_degree() / 2)
+            .max(1)
+            .min(cfg.nodes.saturating_sub(1));
+        let mut boot = gocast::bootstrap_random_graph(cfg.nodes, links, cfg.seed ^ 0xB007);
+        let protocol = cfg.protocol.clone();
+        Testnet::build(cfg, move |id| {
+            let (links, members) = boot(id);
+            GoCastNode::with_initial_links(id, protocol.clone(), links, members)
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fabric is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Fabric-monotonic time: zero at the first [`Testnet::run_for`].
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// The hosted protocol state machine of `id` (inspect between runs).
+    pub fn node(&self, id: NodeId) -> &GoCastNode {
+        &self.nodes[id.index()].node
+    }
+
+    /// Iterates over all hosted nodes.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = &GoCastNode> {
+        self.nodes.iter().map(|s| &s.node)
+    }
+
+    /// The socket address `id` is bound to.
+    pub fn addr_of(&self, id: NodeId) -> SocketAddr {
+        self.nodes[id.index()].addr
+    }
+
+    /// How many peer addresses `id` has learned so far.
+    pub fn known_peers(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].peers.known()
+    }
+
+    /// Whether `id` was crashed by a scenario fault.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.impair.is_crashed(id)
+    }
+
+    /// Wire-side counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// The captured protocol event trace, stamped with fabric time.
+    pub fn trace(&self) -> &[(SimTime, NodeId, GoCastEvent)] {
+        &self.trace
+    }
+
+    /// Renders the captured trace as PR-2 JSONL bytes — byte-compatible
+    /// with what `gocast_sim::TraceRecorder` writes for simulated runs, so
+    /// `gocast_analysis::trace::{scan_trace, InvariantOracle}` consume it
+    /// unchanged.
+    pub fn trace_jsonl(&self) -> Vec<u8> {
+        let mut rec = TraceRecorder::new(Vec::new());
+        for (t, n, e) in &self.trace {
+            rec.record(*t, *n, e.clone());
+        }
+        rec.finish().expect("in-memory sink cannot fail")
+    }
+
+    /// Schedules a protocol command at fabric time `at` (commands due in
+    /// the past fire on the next loop iteration).
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: GoCastCommand) {
+        assert!(
+            self.cmds_next == 0 || at >= self.cmds[self.cmds_next - 1].0,
+            "cannot schedule a command before already-fired ones"
+        );
+        self.cmds.push((at, node, cmd));
+        self.cmds[self.cmds_next..].sort_by_key(|(t, n, _)| (*t, n.as_u32()));
+    }
+
+    /// Attaches a compiled scenario: its faults replay against the real
+    /// sockets at their planned (fabric-relative) times. Compile the plan
+    /// with `ScenarioEnv::starting_at` to offset it into the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different node count.
+    pub fn attach_plan(&mut self, plan: &ScenarioPlan) {
+        assert_eq!(
+            plan.nodes(),
+            self.nodes.len(),
+            "plan was compiled for a different node count"
+        );
+        self.plan.extend(plan.events().iter().cloned());
+        self.plan[self.plan_next..].sort_by_key(|f| f.at);
+    }
+
+    fn instant_of(&self, t: SimTime) -> Instant {
+        self.epoch + Duration::from_nanos(t.as_nanos())
+    }
+
+    /// Runs every node's `on_start` once; fabric time zero is here.
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.epoch = Instant::now();
+        for i in 0..self.nodes.len() {
+            self.with_ctx(i, |n, ctx| n.on_start(ctx));
+        }
+    }
+
+    /// Runs the fabric for `duration` of wall-clock time. Callable
+    /// repeatedly; `on_start` fires on the first call.
+    pub fn run_for(&mut self, duration: Duration) {
+        self.start();
+        let deadline = Instant::now() + duration;
+        let mut buf = [0u8; 65536];
+        loop {
+            let now_i = Instant::now();
+            if now_i >= deadline {
+                return;
+            }
+            let now_s = self.now();
+            let sent_before = self.stats.datagrams_sent + self.stats.delayed;
+            let mut activity = false;
+
+            // 1. Planned scenario faults.
+            while self.plan_next < self.plan.len() && self.plan[self.plan_next].at <= now_s {
+                let fault = self.plan[self.plan_next].fault.clone();
+                self.plan_next += 1;
+                self.apply_fault(fault);
+                activity = true;
+            }
+            // 2. Scheduled protocol commands.
+            while self.cmds_next < self.cmds.len() && self.cmds[self.cmds_next].0 <= now_s {
+                let (_, id, cmd) = self.cmds[self.cmds_next];
+                self.cmds_next += 1;
+                if !self.impair.is_crashed(id) {
+                    self.with_ctx(id.index(), |n, ctx| n.on_command(ctx, cmd));
+                }
+                activity = true;
+            }
+            // 3. Due timers, per node.
+            for i in 0..self.nodes.len() {
+                if self.impair.is_crashed(NodeId::new(i as u32)) {
+                    continue;
+                }
+                while let Some(timer) = self.nodes[i].timers.pop_due(now_i) {
+                    self.with_ctx(i, |n, ctx| n.on_timer(ctx, timer));
+                    activity = true;
+                }
+            }
+            // 4. Jitter-delayed datagrams whose hold expired.
+            while let Some(d) = self.delayed.peek() {
+                if d.release_at > now_i {
+                    break;
+                }
+                let d = self.delayed.pop().expect("peeked");
+                if self.nodes[d.from_index]
+                    .socket
+                    .send_to(&d.bytes, d.dest)
+                    .is_ok()
+                {
+                    self.stats.datagrams_sent += 1;
+                }
+                activity = true;
+            }
+            // 5. Drain every socket.
+            for i in 0..self.nodes.len() {
+                if self.impair.is_crashed(NodeId::new(i as u32)) {
+                    continue;
+                }
+                loop {
+                    match self.nodes[i].socket.recv_from(&mut buf) {
+                        Ok((len, src)) => {
+                            activity = true;
+                            self.on_datagram(i, src, &buf[..len]);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(_) => break, // transient; UDP semantics
+                    }
+                }
+            }
+
+            activity |= (self.stats.datagrams_sent + self.stats.delayed) != sent_before;
+            if activity {
+                continue;
+            }
+            // 6. Idle: sleep until the earliest deadline we know about.
+            let mut next = deadline;
+            if let Some(f) = self.plan.get(self.plan_next) {
+                next = next.min(self.instant_of(f.at));
+            }
+            if let Some((t, _, _)) = self.cmds.get(self.cmds_next) {
+                next = next.min(self.instant_of(*t));
+            }
+            if let Some(d) = self.delayed.peek() {
+                next = next.min(d.release_at);
+            }
+            for slot in &mut self.nodes {
+                if let Some(t) = slot.timers.next_deadline() {
+                    next = next.min(t);
+                }
+            }
+            let wait = next
+                .saturating_duration_since(Instant::now())
+                .min(IDLE_POLL);
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+    }
+
+    /// Replays one planned fault: network faults go to the impairment
+    /// shim, node faults become crash marks or protocol commands — the
+    /// same split `ScenarioPlan::schedule_into` performs for the kernel.
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::Crash(id) => self.impair.set_crashed(id),
+            Fault::Leave(id) => {
+                if !self.impair.is_crashed(id) {
+                    self.with_ctx(id.index(), |n, ctx| n.on_command(ctx, GoCastCommand::Leave));
+                }
+            }
+            Fault::Join { node, contact } => {
+                if !self.impair.is_crashed(node) {
+                    self.with_ctx(node.index(), |n, ctx| {
+                        n.on_command(ctx, GoCastCommand::Join { contact })
+                    });
+                }
+            }
+            net => {
+                self.impair.apply(&net);
+            }
+        }
+    }
+
+    /// Handles one received datagram for node `i`.
+    fn on_datagram(&mut self, i: usize, src: SocketAddr, data: &[u8]) {
+        self.stats.datagrams_received += 1;
+        let Some(frame) = decode_frame(data) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        match frame {
+            Frame::Data { sender, payload } => {
+                let msg = match decode(payload) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        self.stats.malformed += 1;
+                        return;
+                    }
+                };
+                if self.nodes[i].peers.learn(sender, src) {
+                    self.on_learned(i, sender);
+                }
+                self.stats.wire_msgs += 1;
+                self.with_ctx(i, |n, ctx| n.on_message(ctx, sender, msg));
+            }
+            Frame::WhoHas { sender, target } => {
+                if self.nodes[i].peers.learn(sender, src) {
+                    self.on_learned(i, sender);
+                }
+                match self.nodes[i].peers.addr_of(target) {
+                    Some(addr) => self.answer_whohas(i, sender, src, target, addr),
+                    None => {
+                        // Remember the question; answer when the target
+                        // first contacts us (bounded memory).
+                        let slot = &mut self.nodes[i];
+                        if slot.wanted_len < WANTED_CAP {
+                            slot.wanted.entry(target).or_default().push((sender, src));
+                            slot.wanted_len += 1;
+                        }
+                    }
+                }
+            }
+            Frame::Peer { sender, peer, addr } => {
+                if self.nodes[i].peers.learn(sender, src) {
+                    self.on_learned(i, sender);
+                }
+                if self.nodes[i].peers.learn(peer, addr) {
+                    self.on_learned(i, peer);
+                }
+            }
+        }
+    }
+
+    /// Node `i` just learned `peer`'s address: flush datagrams queued for
+    /// it and answer anyone who asked where it lives.
+    fn on_learned(&mut self, i: usize, peer: NodeId) {
+        let Some(addr) = self.nodes[i].peers.addr_of(peer) else {
+            return;
+        };
+        if let Some(queue) = self.nodes[i].pending.remove(&peer) {
+            for bytes in queue {
+                self.transmit_from(i, peer, addr, bytes);
+            }
+        }
+        if let Some(askers) = self.nodes[i].wanted.remove(&peer) {
+            self.nodes[i].wanted_len -= askers.len();
+            for (asker, asker_addr) in askers {
+                self.answer_whohas(i, asker, asker_addr, peer, addr);
+            }
+        }
+    }
+
+    fn answer_whohas(
+        &mut self,
+        i: usize,
+        asker: NodeId,
+        asker_addr: SocketAddr,
+        target: NodeId,
+        target_addr: SocketAddr,
+    ) {
+        let me = self.nodes[i].node.id();
+        if let Some(bytes) = encode_peer(me, target, target_addr) {
+            self.stats.peer_replies += 1;
+            self.transmit_from(i, asker, asker_addr, bytes);
+        }
+    }
+
+    /// Sends pre-framed bytes from node `i` to `to`, through the
+    /// impairment shim.
+    fn transmit_from(&mut self, i: usize, to: NodeId, dest: SocketAddr, bytes: Vec<u8>) {
+        let from = self.nodes[i].node.id();
+        transmit(
+            &self.nodes[i].socket,
+            i,
+            from,
+            to,
+            dest,
+            bytes,
+            &mut self.impair,
+            &mut self.delayed,
+            &mut self.delayed_seq,
+            &mut self.stats,
+        );
+    }
+
+    /// Runs a protocol handler for node `i` with a fabric-backed context.
+    fn with_ctx<F>(&mut self, i: usize, f: F)
+    where
+        F: FnOnce(&mut GoCastNode, &mut Ctx<'_, GoCastNode>),
+    {
+        let node_count = self.nodes.len();
+        let now = self.now();
+        let Testnet {
+            nodes,
+            impair,
+            delayed,
+            delayed_seq,
+            trace,
+            stats,
+            ..
+        } = self;
+        let slot = &mut nodes[i];
+        let id = slot.node.id();
+        let mut io = FabricIo {
+            id,
+            from_index: i,
+            now,
+            node_count,
+            socket: &slot.socket,
+            peers: &mut slot.peers,
+            pending: &mut slot.pending,
+            timers: &mut slot.timers,
+            impair,
+            delayed,
+            delayed_seq,
+            trace,
+            stats,
+        };
+        let mut ctx = Ctx::for_host(id, now, &mut slot.rng, &mut io);
+        f(&mut slot.node, &mut ctx);
+    }
+}
+
+/// Shared transmit path: every outgoing datagram — protocol data,
+/// discovery queries, discovery answers, flushed backlogs — passes the
+/// impairment shim exactly once.
+#[allow(clippy::too_many_arguments)]
+fn transmit(
+    socket: &UdpSocket,
+    from_index: usize,
+    from: NodeId,
+    to: NodeId,
+    dest: SocketAddr,
+    bytes: Vec<u8>,
+    impair: &mut Impairments,
+    delayed: &mut BinaryHeap<DelayedDatagram>,
+    delayed_seq: &mut u64,
+    stats: &mut FabricStats,
+) {
+    match impair.judge(from, to) {
+        Verdict::Deliver => {
+            if socket.send_to(&bytes, dest).is_ok() {
+                stats.datagrams_sent += 1;
+            }
+        }
+        Verdict::DeliverAfter(extra) => {
+            *delayed_seq += 1;
+            stats.delayed += 1;
+            delayed.push(DelayedDatagram {
+                release_at: Instant::now() + extra,
+                seq: *delayed_seq,
+                from_index,
+                dest,
+                bytes,
+            });
+        }
+        Verdict::DropLoss => stats.dropped_loss += 1,
+        Verdict::DropPartition => stats.dropped_partition += 1,
+        Verdict::DropCut => stats.dropped_cut += 1,
+        Verdict::DropCrashed => stats.dropped_crashed += 1,
+    }
+}
+
+/// The world a protocol handler sees on the fabric.
+struct FabricIo<'a> {
+    id: NodeId,
+    from_index: usize,
+    now: SimTime,
+    node_count: usize,
+    socket: &'a UdpSocket,
+    peers: &'a mut PeerTable,
+    pending: &'a mut FxHashMap<NodeId, Vec<Vec<u8>>>,
+    timers: &'a mut TimerWheel,
+    impair: &'a mut Impairments,
+    delayed: &'a mut BinaryHeap<DelayedDatagram>,
+    delayed_seq: &'a mut u64,
+    trace: &'a mut Vec<(SimTime, NodeId, GoCastEvent)>,
+    stats: &'a mut FabricStats,
+}
+
+impl HostBackend<GoCastNode> for FabricIo<'_> {
+    fn send(&mut self, to: NodeId, msg: GoCastMsg) {
+        let framed = encode_data(self.id, &encode(&msg));
+        match self.peers.addr_of(to) {
+            Some(dest) => transmit(
+                self.socket,
+                self.from_index,
+                self.id,
+                to,
+                dest,
+                framed,
+                self.impair,
+                self.delayed,
+                self.delayed_seq,
+                self.stats,
+            ),
+            None => {
+                // Unknown peer: queue the datagram and ask the seeds.
+                let queue = self.pending.entry(to).or_default();
+                if queue.len() >= PENDING_CAP {
+                    queue.remove(0);
+                    self.stats.unresolved_dropped += 1;
+                }
+                queue.push(framed);
+                // Query on the first enqueue, then every eighth, so a
+                // lost query is retried as protocol traffic keeps coming.
+                if queue.len() % 8 == 1 {
+                    let query = encode_whohas(self.id, to);
+                    for (seed, seed_addr) in self.peers.seeds().to_vec() {
+                        if seed == self.id {
+                            continue;
+                        }
+                        self.stats.whohas_sent += 1;
+                        transmit(
+                            self.socket,
+                            self.from_index,
+                            self.id,
+                            seed,
+                            seed_addr,
+                            query.clone(),
+                            self.impair,
+                            self.delayed,
+                            self.delayed_seq,
+                            self.stats,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn set_timer(&mut self, delay: Duration, timer: Timer) {
+        self.timers.schedule(Instant::now() + delay, timer);
+    }
+
+    fn emit(&mut self, event: GoCastEvent) {
+        self.trace.push((self.now, self.id, event));
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+}
+
+impl std::fmt::Display for FabricStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent={} recv={} msgs={} delayed={} drops(loss/part/cut/crash)={}/{}/{}/{} \
+             whohas={} replies={} unresolved={} malformed={}",
+            self.datagrams_sent,
+            self.datagrams_received,
+            self.wire_msgs,
+            self.delayed,
+            self.dropped_loss,
+            self.dropped_partition,
+            self.dropped_cut,
+            self.dropped_crashed,
+            self.whohas_sent,
+            self.peer_replies,
+            self.unresolved_dropped,
+            self.malformed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gocast_sim::scenario::{Scenario, ScenarioEnv, Split};
+
+    fn skip() -> bool {
+        if crate::loopback_available() {
+            false
+        } else {
+            eprintln!("skipping: loopback UDP unavailable");
+            true
+        }
+    }
+
+    #[test]
+    fn fabric_delivers_a_multicast_end_to_end() {
+        if skip() {
+            return;
+        }
+        let cfg = TestnetConfig::new(4).with_seed(9);
+        let mut net = Testnet::build_bootstrap(&cfg).expect("bind loopback");
+        net.schedule_command(
+            SimTime::from_secs(2),
+            NodeId::new(1),
+            GoCastCommand::Multicast,
+        );
+        net.run_for(Duration::from_secs(3));
+        let deliveries = net
+            .trace()
+            .iter()
+            .filter(|(_, _, e)| matches!(e, GoCastEvent::Delivered { .. }))
+            .count();
+        assert_eq!(deliveries, 3, "every other node must deliver once");
+        assert_eq!(net.stats().malformed, 0);
+    }
+
+    #[test]
+    fn partition_plan_drops_real_datagrams_then_heals() {
+        if skip() {
+            return;
+        }
+        let cfg = TestnetConfig::new(4).with_seed(5);
+        let mut net = Testnet::build_bootstrap(&cfg).expect("bind loopback");
+        let scenario = Scenario::new().partition_at(
+            Duration::from_secs(1),
+            Duration::from_secs(2),
+            Split::Halves,
+        );
+        let plan = scenario.compile(&ScenarioEnv::new(4, 5));
+        net.attach_plan(&plan);
+        net.run_for(Duration::from_millis(1500));
+        let mid = net.stats().dropped_partition;
+        assert!(mid > 0, "partition never dropped a datagram on the wire");
+        net.run_for(Duration::from_millis(1000));
+        let healed = net.stats().dropped_partition;
+        net.run_for(Duration::from_millis(500));
+        assert_eq!(
+            net.stats().dropped_partition,
+            healed,
+            "partition kept dropping after its heal time"
+        );
+    }
+
+    #[test]
+    fn crash_fault_silences_a_node() {
+        if skip() {
+            return;
+        }
+        let cfg = TestnetConfig::new(3).with_seed(2);
+        let mut net = Testnet::build_bootstrap(&cfg).expect("bind loopback");
+        let scenario = Scenario::new().crash_at(Duration::from_millis(500), NodeId::new(2));
+        let plan = scenario.compile(&ScenarioEnv::new(3, 2));
+        net.attach_plan(&plan);
+        net.run_for(Duration::from_secs(2));
+        assert!(net.is_crashed(NodeId::new(2)));
+        assert!(
+            net.stats().dropped_crashed > 0,
+            "no traffic hit the crash wall"
+        );
+    }
+}

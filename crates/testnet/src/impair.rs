@@ -1,0 +1,248 @@
+//! The wire-side impairment shim: chaos parity for real sockets.
+//!
+//! The simulation kernel injects loss, jitter, partitions, and link cuts
+//! when it moves messages between nodes; on the testnet the operating
+//! system moves the bytes, so the same faults are applied here, in the
+//! fabric's transmit path, *before* `send_to`. The fault state is driven
+//! by the exact same compiled [`gocast_sim::ScenarioPlan`]s the chaos
+//! engine uses in simulation (PR 4): the fabric replays a plan's network
+//! faults into an [`Impairments`] and its node faults (crash/leave/join)
+//! into protocol commands, giving every chaos preset a real-socket
+//! counterpart.
+//!
+//! Semantics mirror the kernel: loss and jitter apply only between
+//! distinct live nodes, partitions drop datagrams whose endpoints carry
+//! different side labels, cut links drop both directions of a pair, and
+//! crashed nodes neither send nor receive. Randomness comes from a
+//! dedicated fabric RNG stream seeded from the run seed, so impairment
+//! draws never perturb protocol-level randomness.
+
+use std::time::Duration;
+
+use gocast_sim::scenario::Fault;
+use gocast_sim::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What the shim decided for one outgoing datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Transmit now.
+    Deliver,
+    /// Transmit after holding the datagram for the given extra delay.
+    DeliverAfter(Duration),
+    /// Drop: the injected loss probability fired.
+    DropLoss,
+    /// Drop: sender and receiver are on different partition sides.
+    DropPartition,
+    /// Drop: the pairwise link is cut.
+    DropCut,
+    /// Drop: the destination (or source) node has crashed.
+    DropCrashed,
+}
+
+/// Wire-side network fault state, evolved by replaying a
+/// [`gocast_sim::ScenarioPlan`]'s events in fabric time.
+#[derive(Debug)]
+pub struct Impairments {
+    nodes: usize,
+    loss: f64,
+    jitter: Duration,
+    partition: Option<Vec<u32>>,
+    /// Cut pairs, stored normalized (`a < b`) and sorted for binary search
+    /// (the kernel's `LinkSet` idiom).
+    cut: Vec<(u32, u32)>,
+    crashed: Vec<bool>,
+    rng: SmallRng,
+}
+
+impl Impairments {
+    /// Fault-free state over `nodes` nodes; `seed` feeds the dedicated
+    /// impairment RNG stream.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        Impairments {
+            nodes,
+            loss: 0.0,
+            jitter: Duration::ZERO,
+            partition: None,
+            cut: Vec::new(),
+            crashed: vec![false; nodes],
+            rng: SmallRng::seed_from_u64(seed ^ 0x5CE7_A110_0000_CAFE),
+        }
+    }
+
+    /// Applies a network-level fault. Returns `false` for node-level
+    /// faults (`Crash`/`Leave`/`Join`), which the fabric handles itself.
+    pub fn apply(&mut self, fault: &Fault) -> bool {
+        match fault {
+            Fault::CutLink(a, b) => {
+                let pair = Self::norm(*a, *b);
+                if let Err(i) = self.cut.binary_search(&pair) {
+                    self.cut.insert(i, pair);
+                }
+                true
+            }
+            Fault::HealLink(a, b) => {
+                let pair = Self::norm(*a, *b);
+                if let Ok(i) = self.cut.binary_search(&pair) {
+                    self.cut.remove(i);
+                }
+                true
+            }
+            Fault::Partition(sides) => {
+                assert_eq!(sides.len(), self.nodes, "partition side labels per node");
+                self.partition = Some(sides.clone());
+                true
+            }
+            Fault::HealPartition => {
+                self.partition = None;
+                true
+            }
+            Fault::SetLoss(p) => {
+                self.loss = p.clamp(0.0, 1.0);
+                true
+            }
+            Fault::SetJitter(j) => {
+                self.jitter = *j;
+                true
+            }
+            Fault::Crash(_) | Fault::Leave(_) | Fault::Join { .. } => false,
+        }
+    }
+
+    /// Marks `node` as crashed: it neither sends nor receives from now on.
+    pub fn set_crashed(&mut self, node: NodeId) {
+        self.crashed[node.index()] = true;
+    }
+
+    /// Whether `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
+    /// Judges one outgoing datagram `from → to`. Order matches the
+    /// kernel: crash, then partition/cut (structural), then stochastic
+    /// loss, then jitter.
+    pub fn judge(&mut self, from: NodeId, to: NodeId) -> Verdict {
+        if self.crashed[from.index()] || self.crashed[to.index()] {
+            return Verdict::DropCrashed;
+        }
+        if from == to {
+            // Self-sends bypass the (inter-node) network, like the kernel.
+            return Verdict::Deliver;
+        }
+        if let Some(sides) = &self.partition {
+            if sides[from.index()] != sides[to.index()] {
+                return Verdict::DropPartition;
+            }
+        }
+        if !self.cut.is_empty() && self.cut.binary_search(&Self::norm(from, to)).is_ok() {
+            return Verdict::DropCut;
+        }
+        if self.loss > 0.0 && self.rng.gen_bool(self.loss) {
+            return Verdict::DropLoss;
+        }
+        if !self.jitter.is_zero() {
+            let extra = self.rng.gen_range(0..=self.jitter.as_nanos() as u64);
+            if extra > 0 {
+                return Verdict::DeliverAfter(Duration::from_nanos(extra));
+            }
+        }
+        Verdict::Deliver
+    }
+
+    fn norm(a: NodeId, b: NodeId) -> (u32, u32) {
+        let (a, b) = (a.as_u32(), b.as_u32());
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn fault_free_state_delivers_everything() {
+        let mut imp = Impairments::new(4, 1);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(imp.judge(n(a), n(b)), Verdict::Deliver);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_drops_cross_side_only() {
+        let mut imp = Impairments::new(4, 1);
+        assert!(imp.apply(&Fault::Partition(vec![0, 0, 1, 1])));
+        assert_eq!(imp.judge(n(0), n(1)), Verdict::Deliver);
+        assert_eq!(imp.judge(n(0), n(2)), Verdict::DropPartition);
+        assert_eq!(imp.judge(n(3), n(1)), Verdict::DropPartition);
+        assert!(imp.apply(&Fault::HealPartition));
+        assert_eq!(imp.judge(n(0), n(2)), Verdict::Deliver);
+    }
+
+    #[test]
+    fn cut_links_drop_both_directions_until_healed() {
+        let mut imp = Impairments::new(3, 1);
+        assert!(imp.apply(&Fault::CutLink(n(2), n(0))));
+        assert_eq!(imp.judge(n(0), n(2)), Verdict::DropCut);
+        assert_eq!(imp.judge(n(2), n(0)), Verdict::DropCut);
+        assert_eq!(imp.judge(n(0), n(1)), Verdict::Deliver);
+        assert!(imp.apply(&Fault::HealLink(n(0), n(2))));
+        assert_eq!(imp.judge(n(0), n(2)), Verdict::Deliver);
+    }
+
+    #[test]
+    fn loss_fires_with_the_configured_probability() {
+        let mut imp = Impairments::new(2, 7);
+        assert!(imp.apply(&Fault::SetLoss(0.5)));
+        let drops = (0..10_000)
+            .filter(|_| imp.judge(n(0), n(1)) == Verdict::DropLoss)
+            .count();
+        assert!((4_000..6_000).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn jitter_delays_but_never_drops() {
+        let mut imp = Impairments::new(2, 7);
+        assert!(imp.apply(&Fault::SetJitter(Duration::from_millis(5))));
+        for _ in 0..100 {
+            match imp.judge(n(0), n(1)) {
+                Verdict::Deliver => {}
+                Verdict::DeliverAfter(d) => assert!(d <= Duration::from_millis(5)),
+                other => panic!("unexpected verdict {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_are_silenced_and_self_sends_bypass_faults() {
+        let mut imp = Impairments::new(3, 1);
+        imp.apply(&Fault::SetLoss(1.0));
+        assert_eq!(imp.judge(n(1), n(1)), Verdict::Deliver); // self-send exempt
+        imp.set_crashed(n(2));
+        assert!(imp.is_crashed(n(2)));
+        assert_eq!(imp.judge(n(0), n(2)), Verdict::DropCrashed);
+        assert_eq!(imp.judge(n(2), n(0)), Verdict::DropCrashed);
+    }
+
+    #[test]
+    fn node_level_faults_are_not_network_faults() {
+        let mut imp = Impairments::new(2, 1);
+        assert!(!imp.apply(&Fault::Crash(n(0))));
+        assert!(!imp.apply(&Fault::Leave(n(0))));
+        assert!(!imp.apply(&Fault::Join {
+            node: n(0),
+            contact: n(1)
+        }));
+    }
+}

@@ -1,0 +1,85 @@
+//! `gocast-testnet`: a process-local deployment fabric for GoCast.
+//!
+//! The simulation kernel (`gocast-sim`) runs the protocol in virtual
+//! time; `gocast-udp` hosts a *single* node on a real socket. This crate
+//! closes the gap between them: it spins up N GoCast nodes inside one
+//! process, each on its own non-blocking loopback [`std::net::UdpSocket`],
+//! driven by a hand-rolled synchronous event loop (sockets + the
+//! [`gocast_udp::TimerWheel`] scheduler — no async runtime). On top of
+//! that fabric it layers the pieces a real deployment study needs:
+//!
+//! - **Seed bootstrap** ([`bootstrap`]): nodes start knowing only the
+//!   seed nodes' addresses and discover the rest at runtime through a
+//!   tiny WHOHAS/PEER side protocol, replacing `gocast-udp`'s static
+//!   `AddressBook`.
+//! - **Chaos parity** ([`impair`]): the same compiled
+//!   [`gocast_sim::scenario::ScenarioPlan`]s the PR-4 chaos engine runs
+//!   in simulation replay against the real sockets — loss, jitter,
+//!   partitions, link cuts, crash/leave/join.
+//! - **Wire-side tracing**: every protocol event a node emits is captured
+//!   with fabric-monotonic time and rendered in the PR-2 JSONL trace
+//!   format, so `gocast_analysis::trace` (including the
+//!   `InvariantOracle`) audits real-socket runs unchanged.
+//! - **Sim-vs-wire conformance** ([`conformance`]): a differential
+//!   harness that runs the same workload through the simulator and the
+//!   testnet and compares delivery ratio, hop histograms, and
+//!   tree-vs-pull recovery fractions within stated tolerances.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use gocast_sim::{NodeId, SimTime};
+//! use gocast::GoCastCommand;
+//! use gocast_testnet::{Testnet, TestnetConfig};
+//!
+//! let cfg = TestnetConfig::new(8).with_seed(7);
+//! let mut net = Testnet::build_bootstrap(&cfg).unwrap();
+//! // Let the overlay and tree form, then multicast from node 3.
+//! net.schedule_command(
+//!     SimTime::from_secs(3),
+//!     NodeId::new(3),
+//!     GoCastCommand::Multicast,
+//! );
+//! net.run_for(Duration::from_secs(5));
+//! let jsonl = net.trace_jsonl(); // feed to gocast-analysis
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bootstrap;
+pub mod conformance;
+mod fabric;
+pub mod impair;
+
+pub use bootstrap::PeerTable;
+pub use conformance::{ConformanceOptions, ConformanceReport, SideReport};
+pub use fabric::{FabricStats, Testnet, TestnetConfig};
+pub use impair::{Impairments, Verdict};
+
+use std::net::{Ipv4Addr, UdpSocket};
+use std::time::Duration;
+
+use gocast::GoCastConfig;
+
+/// The protocol configuration testnet runs default to: the same
+/// wall-clock-friendly cadences `gocast-udp`'s deployment tests use, so a
+/// tree forms within a few seconds of real time.
+pub fn deployment_config() -> GoCastConfig {
+    GoCastConfig {
+        gossip_period: Duration::from_millis(50),
+        maintenance_period: Duration::from_millis(50),
+        heartbeat_period: Duration::from_millis(500),
+        idle_gossip_interval: Duration::from_millis(300),
+        landmark_count: 2,
+        ..Default::default()
+    }
+}
+
+/// Whether this environment can bind loopback UDP sockets at all.
+/// Socket-dependent tests and CI steps skip gracefully when it cannot
+/// (some sandboxes forbid any socket creation).
+pub fn loopback_available() -> bool {
+    UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).is_ok()
+}

@@ -10,6 +10,13 @@
 //! The same binary state machine that the paper-scale simulations validate
 //! is what goes on the wire here — no reimplementation, no divergence.
 //!
+//! Timer scheduling lives in [`TimerWheel`], which is shared with the
+//! multi-node loopback fabric in `gocast-testnet`: deadline-ordered,
+//! dedup-by-identity, cancellation-aware (see [`sched`]). The event loop
+//! sleeps until the next timer deadline (or the run deadline) rather than
+//! polling; cross-thread commands wake it immediately through a loopback
+//! waker datagram.
+//!
 //! ```no_run
 //! use gocast::{GoCastCommand, GoCastConfig, GoCastNode};
 //! use gocast_sim::NodeId;
@@ -32,9 +39,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::BinaryHeap;
+pub mod sched;
+
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gocast::{decode, encode, GoCastCommand, GoCastEvent, GoCastMsg, GoCastNode};
@@ -42,8 +51,11 @@ use gocast_sim::{Ctx, HostBackend, NodeId, Protocol, SimTime, Timer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+pub use sched::TimerWheel;
+
 /// Maps [`NodeId`]s to socket addresses. In a deployment this would come
-/// from configuration or a discovery service.
+/// from configuration or a discovery service; the `gocast-testnet` fabric
+/// replaces it entirely with seed-node bootstrap and dynamic discovery.
 #[derive(Debug, Clone)]
 pub struct AddressBook {
     addrs: Vec<SocketAddr>,
@@ -93,38 +105,12 @@ impl AddressBook {
     }
 }
 
-/// A pending timer entry (min-heap by deadline, insertion-ordered ties).
-#[derive(Debug)]
-struct Pending {
-    at: Instant,
-    seq: u64,
-    timer: Timer,
-}
-
-impl PartialEq for Pending {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Pending {}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// The world the state machine sees while a handler runs.
 struct Io<'a> {
     socket: &'a UdpSocket,
     book: &'a AddressBook,
     start: Instant,
-    timers: &'a mut BinaryHeap<Pending>,
-    timer_seq: &'a mut u64,
+    timers: &'a mut TimerWheel,
     events: &'a mut Vec<(SimTime, GoCastEvent)>,
     sent: &'a mut u64,
 }
@@ -139,12 +125,7 @@ impl HostBackend<GoCastNode> for Io<'_> {
     }
 
     fn set_timer(&mut self, delay: Duration, timer: Timer) {
-        *self.timer_seq += 1;
-        self.timers.push(Pending {
-            at: Instant::now() + delay,
-            seq: *self.timer_seq,
-            timer,
-        });
+        self.timers.schedule(Instant::now() + delay, timer);
     }
 
     fn emit(&mut self, event: GoCastEvent) {
@@ -158,21 +139,29 @@ impl HostBackend<GoCastNode> for Io<'_> {
 }
 
 /// A cloneable handle for injecting commands into a running host from
-/// other threads.
+/// other threads. Each command is followed by a zero-length waker datagram
+/// to the host's own socket, so a host sleeping until its next timer
+/// deadline picks the command up immediately.
 #[derive(Debug, Clone)]
 pub struct HostHandle {
     tx: mpsc::Sender<GoCastCommand>,
+    waker: Arc<UdpSocket>,
+    host: SocketAddr,
 }
 
 impl HostHandle {
-    /// Enqueues a command; the host processes it on its next loop
-    /// iteration.
+    /// Enqueues a command and wakes the host loop; the host processes it
+    /// on its next iteration.
     ///
     /// # Errors
     ///
     /// Returns the command back if the host has shut down.
     pub fn command(&self, cmd: GoCastCommand) -> Result<(), GoCastCommand> {
-        self.tx.send(cmd).map_err(|e| e.0)
+        self.tx.send(cmd).map_err(|e| e.0)?;
+        // Best-effort wake; if it fails the host still sees the command at
+        // its next timer deadline.
+        let _ = self.waker.send_to(&[], self.host);
+        Ok(())
     }
 }
 
@@ -180,7 +169,9 @@ impl HostHandle {
 ///
 /// Single-threaded event loop: receive → decode → `on_message`; fire due
 /// timers; drain the command channel. Time is the host's monotonic clock,
-/// expressed to the protocol as [`SimTime`] since host start.
+/// expressed to the protocol as [`SimTime`] since host start. Between
+/// packets the loop blocks until the next [`TimerWheel`] deadline — no
+/// fixed-interval polling.
 #[derive(Debug)]
 pub struct UdpHost {
     node: GoCastNode,
@@ -188,24 +179,26 @@ pub struct UdpHost {
     book: AddressBook,
     start: Instant,
     started: bool,
-    timers: BinaryHeap<Pending>,
-    timer_seq: u64,
+    timers: TimerWheel,
     rng: SmallRng,
     events: Vec<(SimTime, GoCastEvent)>,
     cmd_rx: mpsc::Receiver<GoCastCommand>,
     cmd_tx: mpsc::Sender<GoCastCommand>,
+    waker: Arc<UdpSocket>,
     sent: u64,
     received: u64,
 }
 
 impl UdpHost {
-    /// Binds the socket for `node`'s address-book entry.
+    /// Binds the socket for `node`'s address-book entry (plus an ephemeral
+    /// waker socket used by [`HostHandle::command`]).
     ///
     /// # Errors
     ///
     /// Propagates socket bind errors (e.g. the port is taken).
     pub fn bind(node: GoCastNode, book: AddressBook, seed: u64) -> std::io::Result<Self> {
         let socket = UdpSocket::bind(book.addr(node.id()))?;
+        let waker = Arc::new(UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?);
         let (cmd_tx, cmd_rx) = mpsc::channel();
         Ok(UdpHost {
             node,
@@ -213,12 +206,12 @@ impl UdpHost {
             book,
             start: Instant::now(),
             started: false,
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
+            timers: TimerWheel::new(),
             rng: SmallRng::seed_from_u64(seed),
             events: Vec::new(),
             cmd_rx,
             cmd_tx,
+            waker,
             sent: 0,
             received: 0,
         })
@@ -228,6 +221,11 @@ impl UdpHost {
     pub fn handle(&self) -> HostHandle {
         HostHandle {
             tx: self.cmd_tx.clone(),
+            waker: Arc::clone(&self.waker),
+            host: self
+                .socket
+                .local_addr()
+                .unwrap_or_else(|_| self.book.addr(self.node.id())),
         }
     }
 
@@ -257,7 +255,6 @@ impl UdpHost {
             book: &self.book,
             start: self.start,
             timers: &mut self.timers,
-            timer_seq: &mut self.timer_seq,
             events: &mut self.events,
             sent: &mut self.sent,
         };
@@ -285,20 +282,19 @@ impl UdpHost {
                 self.with_ctx(|n, ctx| n.on_command(ctx, cmd));
             }
             // Fire due timers.
-            while let Some(p) = self.timers.peek() {
-                if p.at > now {
-                    break;
-                }
-                let timer = self.timers.pop().expect("peeked").timer;
+            while let Some(timer) = self.timers.pop_due(now) {
                 self.with_ctx(|n, ctx| n.on_timer(ctx, timer));
             }
-            // Wait for the next packet, bounded by the next timer and the
-            // loop deadline (and a small cap so commands stay responsive).
-            let next_timer = self.timers.peek().map(|p| p.at).unwrap_or(deadline);
-            let wait = next_timer
-                .min(deadline)
+            // Block for the next packet until the next timer deadline (or
+            // the loop deadline). Commands interrupt the wait through the
+            // waker datagram, so no polling cap is needed; the floor only
+            // keeps the timeout nonzero, which `set_read_timeout` requires.
+            let next = self
+                .timers
+                .next_deadline()
+                .map_or(deadline, |t| t.min(deadline));
+            let wait = next
                 .saturating_duration_since(Instant::now())
-                .min(Duration::from_millis(10))
                 .max(Duration::from_micros(100));
             self.socket
                 .set_read_timeout(Some(wait))
@@ -306,7 +302,7 @@ impl UdpHost {
             match self.socket.recv_from(&mut buf) {
                 Ok((len, from_addr)) => {
                     let Some(from) = self.book.node_of(from_addr) else {
-                        continue; // stranger datagram
+                        continue; // stranger (or waker) datagram
                     };
                     match decode(&buf[..len]) {
                         Ok(msg) => {
@@ -445,5 +441,42 @@ mod tests {
         host.run_for(Duration::from_millis(300));
         // Still alive and still schedules protocol work.
         assert!(host.node().is_joined());
+    }
+
+    #[test]
+    fn command_wakes_a_sleeping_host() {
+        // With only long-deadline timers pending, the host sleeps until
+        // the next timer; a command must still be picked up promptly via
+        // the waker datagram, not at the next (multi-second) wake-up.
+        let book = AddressBook::local(1, 19300);
+        let cfg = GoCastConfig {
+            gossip_period: Duration::from_secs(10),
+            maintenance_period: Duration::from_secs(10),
+            heartbeat_period: Duration::from_secs(10),
+            idle_gossip_interval: Duration::from_secs(10),
+            tree_enabled: false,
+            landmark_count: 0,
+            ..GoCastConfig::default()
+        };
+        let node = GoCastNode::new(NodeId::new(0), cfg, Vec::new());
+        let mut host = UdpHost::bind(node, book, 9).unwrap();
+        let handle = host.handle();
+        let t = std::thread::spawn(move || {
+            host.run_for(Duration::from_secs(2));
+            host
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        handle.command(GoCastCommand::Multicast).unwrap();
+        let host = t.join().unwrap();
+        let injected_at = host
+            .events()
+            .iter()
+            .find(|(_, e)| matches!(e, GoCastEvent::Injected { .. }))
+            .map(|(t, _)| *t)
+            .expect("multicast command was never processed");
+        assert!(
+            injected_at < SimTime::from_millis(1_000),
+            "command took {injected_at:?} to be processed — waker did not interrupt the wait"
+        );
     }
 }

@@ -28,13 +28,14 @@ echo "==> cargo doc --no-deps (missing docs are errors)"
 # #![warn(missing_docs)], which -D warnings turns into errors.
 FIRST_PARTY=(-p gocast-sim -p gocast-net -p gocast-membership -p gocast
     -p gocast-baselines -p gocast-analysis -p gocast-experiments
-    -p gocast-udp -p gocast-bench -p gocast-tests -p gocast-examples)
+    -p gocast-udp -p gocast-testnet -p gocast-bench -p gocast-tests
+    -p gocast-examples)
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 
 echo "==> cargo test --doc"
 cargo test -q --doc -p gocast-sim -p gocast-net -p gocast-membership \
     -p gocast -p gocast-baselines -p gocast-analysis -p gocast-experiments \
-    -p gocast-udp
+    -p gocast-udp -p gocast-testnet
 
 echo "==> chaos smoke scenario (oracle-gated)"
 # A quick scenario-driven churn run; the subcommand exits nonzero if the
@@ -50,5 +51,17 @@ TRACE_DIR="$(mktemp -d)"
 trap 'rm -rf "$TRACE_DIR"' EXIT
 cargo run --release -q -p gocast-experiments -- trace --quick --nodes 64 \
     --messages 20 --no-csv --trace-out "$TRACE_DIR/smoke.jsonl"
+
+echo "==> testnet sim-vs-wire conformance (real loopback sockets)"
+# The same workload through the simulator and through real loopback-UDP
+# nodes; exits nonzero if the two sides disagree beyond tolerance or any
+# trace violates a protocol invariant. The subcommand itself skips with
+# exit 0 where loopback sockets cannot be bound (socket-less sandboxes),
+# keeping this gate green without network access. A smaller-than-default
+# workload keeps the wall-clock cost at a few seconds per run.
+cargo run --release -q -p gocast-experiments -- testnet --nodes 12 \
+    --messages 100 --no-csv
+cargo run --release -q -p gocast-experiments -- testnet --nodes 12 \
+    --messages 100 --scenario partition --no-csv
 
 echo "All checks passed."
