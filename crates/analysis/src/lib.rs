@@ -46,6 +46,6 @@ pub use stats::{Cdf, DelayHistogram, Histogram, Summary};
 pub use table::{fmt_ms, fmt_secs, Table};
 pub use timeseries::TimeSeriesRecorder;
 pub use trace::{
-    parse_line, scan_trace, InvariantOracle, OracleConfig, TraceAnalysis, TraceError, TraceRecord,
-    TraceReport, Violation, ViolationKind,
+    parse_line, scan_trace, InvariantOracle, OracleConfig, ProtoTag, TraceAnalysis, TraceError,
+    TraceRecord, TraceReport, Violation, ViolationKind,
 };

@@ -24,11 +24,55 @@ use std::fmt;
 use std::io::BufRead;
 
 use gocast::{DeliveryPath, DropReason, GoCastConfig, GoCastEvent, LinkKind};
-use gocast_sim::{NodeId, Recorder, SimTime};
+use gocast_sim::{NodeId, Recorder, SimTime, StackCaps};
 
 // ---------------------------------------------------------------------
 // Records.
 // ---------------------------------------------------------------------
+
+/// Which stack produced a trace record — the `"proto"` JSONL field.
+///
+/// PR-2-era traces predate the tag; [`parse_line`] / [`scan_trace`]
+/// default records without it to [`ProtoTag::GoCast`], so old traces
+/// still parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtoTag {
+    /// The GoCast stack (also the default for untagged records).
+    #[default]
+    GoCast,
+    /// The Plumtree/HyParView rival stack.
+    Plumtree,
+    /// The push-gossip baseline.
+    PushGossip,
+}
+
+impl ProtoTag {
+    /// Parses the stable JSONL value (`gocast`, `plumtree`,
+    /// `push-gossip`). Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "gocast" => ProtoTag::GoCast,
+            "plumtree" => ProtoTag::Plumtree,
+            "push-gossip" => ProtoTag::PushGossip,
+            _ => return None,
+        })
+    }
+
+    /// The stable JSONL value.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtoTag::GoCast => "gocast",
+            ProtoTag::Plumtree => "plumtree",
+            ProtoTag::PushGossip => "push-gossip",
+        }
+    }
+}
+
+impl fmt::Display for ProtoTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// One parsed trace line: when, where, what.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +81,9 @@ pub struct TraceRecord {
     pub t_us: u64,
     /// The node that emitted the event.
     pub node: u32,
+    /// The stack that produced the record (defaulted to
+    /// [`ProtoTag::GoCast`] when the line carries no `proto` field).
+    pub proto: ProtoTag,
     /// The event itself.
     pub ev: TraceEv,
 }
@@ -145,7 +192,20 @@ pub enum TraceEv {
 impl TraceRecord {
     /// Builds the record a live `GoCastEvent` would parse back to — the
     /// bridge that lets the [`InvariantOracle`] run online as a recorder.
+    /// The record is tagged [`ProtoTag::GoCast`]; use
+    /// [`TraceRecord::from_event_for`] for another stack emitting the
+    /// shared event vocabulary.
     pub fn from_event(now: SimTime, node: NodeId, ev: &GoCastEvent) -> TraceRecord {
+        Self::from_event_for(ProtoTag::GoCast, now, node, ev)
+    }
+
+    /// [`TraceRecord::from_event`] with an explicit stack tag.
+    pub fn from_event_for(
+        proto: ProtoTag,
+        now: SimTime,
+        node: NodeId,
+        ev: &GoCastEvent,
+    ) -> TraceRecord {
         let t_us = now.as_nanos() / 1_000;
         let node = node.as_u32();
         let ev = match *ev {
@@ -201,7 +261,12 @@ impl TraceRecord {
             },
             GoCastEvent::BecameRoot { epoch } => TraceEv::BecameRoot { epoch },
         };
-        TraceRecord { t_us, node, ev }
+        TraceRecord {
+            t_us,
+            node,
+            proto,
+            ev,
+        }
     }
 }
 
@@ -373,6 +438,13 @@ fn parse_line_inner(line: &str) -> Result<TraceRecord, String> {
     let fields = parse_object(line)?;
     let t_us = num_u64(&fields, "t_us")?;
     let node = num(&fields, "node")?;
+    // Optional stack tag; records from before the tag existed default to
+    // GoCast (the only stack that could have written them).
+    let proto = match field(&fields, "proto") {
+        Err(_) => ProtoTag::GoCast,
+        Ok(Val::Str(s)) => ProtoTag::parse(s).ok_or_else(|| format!("unknown proto {s:?}"))?,
+        Ok(other) => return Err(format!("field \"proto\" is not a string: {other:?}")),
+    };
     let ev_name = string(&fields, "ev")?;
     let msg = |fields: &[(&str, Val<'_>)]| -> Result<(u32, u32), String> {
         Ok((num(fields, "origin")?, num(fields, "seq")?))
@@ -466,7 +538,12 @@ fn parse_line_inner(line: &str) -> Result<TraceRecord, String> {
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };
-    Ok(TraceRecord { t_us, node, ev })
+    Ok(TraceRecord {
+        t_us,
+        node,
+        proto,
+        ev,
+    })
 }
 
 /// Streams a JSONL trace from `reader`, invoking `f` per record.
@@ -771,7 +848,14 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Bounds and grace settings for the [`InvariantOracle`].
+/// Bounds, grace settings, and the per-stack capability switches for the
+/// [`InvariantOracle`].
+///
+/// The universal invariants (no delivery before send, no duplicate
+/// delivery) are always enforced. The stack-specific checks — degree
+/// bounds and pull-after-delivery — are enabled per stack through
+/// [`OracleConfig::with_caps`], so the oracle cleanly *skips* a check a
+/// stack's design never promised instead of mis-firing on it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OracleConfig {
     /// Maximum random degree after any link addition
@@ -784,16 +868,43 @@ pub struct OracleConfig {
     /// bootstrap graph installs links of arbitrary degree at t=0; the
     /// degree rules only bound *protocol* additions.
     pub degree_check_after_us: u64,
+    /// Enforce the degree bounds (GoCast's accept-rule ceiling). Off for
+    /// stacks whose views are unbounded or evict reactively.
+    pub check_degree_bounds: bool,
+    /// Enforce "never pull/graft a message the node already holds".
+    pub check_pull_after_delivery: bool,
 }
 
 impl OracleConfig {
-    /// Derives the bounds from a protocol configuration.
+    /// Derives the bounds from a GoCast protocol configuration, with
+    /// every check enabled.
     pub fn for_protocol(cfg: &GoCastConfig) -> Self {
         OracleConfig {
             max_rand: cfg.c_rand + cfg.degree_slack,
             max_near: cfg.c_near + cfg.degree_slack,
             degree_check_after_us: 1,
+            check_degree_bounds: true,
+            check_pull_after_delivery: true,
         }
+    }
+
+    /// Only the universal checks: no stack-specific invariant enforced.
+    pub fn universal() -> Self {
+        OracleConfig {
+            max_rand: usize::MAX,
+            max_near: usize::MAX,
+            degree_check_after_us: 0,
+            check_degree_bounds: false,
+            check_pull_after_delivery: false,
+        }
+    }
+
+    /// Restricts the enabled checks to what `caps` promises (builder
+    /// style). Never *enables* a check the config had off.
+    pub fn with_caps(mut self, caps: &StackCaps) -> Self {
+        self.check_degree_bounds &= caps.degree_bounds;
+        self.check_pull_after_delivery &= caps.pull_after_delivery;
+        self
     }
 }
 
@@ -939,7 +1050,8 @@ impl InvariantOracle {
                 self.held.insert((rec.node, origin, seq));
             }
             TraceEv::PullRequested { origin, seq, to }
-                if self.held.contains(&(rec.node, origin, seq)) =>
+                if self.cfg.check_pull_after_delivery
+                    && self.held.contains(&(rec.node, origin, seq)) =>
             {
                 self.violate(
                     rec,
@@ -958,7 +1070,10 @@ impl InvariantOracle {
                     LinkKind::Random => self.cfg.max_rand,
                     LinkKind::Nearby => self.cfg.max_near,
                 } as u32;
-                if rec.t_us > self.cfg.degree_check_after_us && d[idx] > bound {
+                if self.cfg.check_degree_bounds
+                    && rec.t_us > self.cfg.degree_check_after_us
+                    && d[idx] > bound
+                {
                     // Pend, don't flag: a make-before-break replacement
                     // drops the victim at this same instant.
                     let count = d[idx];
@@ -1008,7 +1123,12 @@ mod tests {
     use gocast::MsgId;
 
     fn rec(t_us: u64, node: u32, ev: TraceEv) -> TraceRecord {
-        TraceRecord { t_us, node, ev }
+        TraceRecord {
+            t_us,
+            node,
+            proto: ProtoTag::default(),
+            ev,
+        }
     }
 
     #[test]
@@ -1121,6 +1241,86 @@ mod tests {
             .map(|(t, n, ev)| TraceRecord::from_event(*t, *n, ev))
             .collect();
         assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn proto_tag_parses_and_defaults_to_gocast() {
+        // PR-2-era line without a proto field: defaults to gocast.
+        let old = parse_line("{\"t_us\":1,\"node\":0,\"ev\":\"injected\",\"origin\":0,\"seq\":0}")
+            .unwrap();
+        assert_eq!(old.proto, ProtoTag::GoCast);
+        // Tagged line round-trips the tag.
+        let tagged = parse_line(
+            "{\"t_us\":1,\"node\":0,\"proto\":\"plumtree\",\"ev\":\"injected\",\
+             \"origin\":0,\"seq\":0}",
+        )
+        .unwrap();
+        assert_eq!(tagged.proto, ProtoTag::Plumtree);
+        assert_eq!(ProtoTag::parse(tagged.proto.name()), Some(tagged.proto));
+        // Unknown tags are a schema error, not a silent default.
+        assert!(parse_line(
+            "{\"t_us\":1,\"node\":0,\"proto\":\"carrier-pigeon\",\"ev\":\"injected\",\
+             \"origin\":0,\"seq\":0}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn universal_oracle_skips_stack_specific_checks() {
+        let mut o = InvariantOracle::new(OracleConfig::universal());
+        // A pull of a held message: GoCast-specific, skipped here.
+        o.check(&rec(5, 0, TraceEv::Injected { origin: 0, seq: 0 }));
+        o.check(&rec(
+            9,
+            0,
+            TraceEv::PullRequested {
+                origin: 0,
+                seq: 0,
+                to: 1,
+            },
+        ));
+        // Degree churn past any plausible bound: also skipped.
+        for peer in 0..50 {
+            o.check(&rec(
+                20,
+                0,
+                TraceEv::LinkAdded {
+                    peer,
+                    kind: LinkKind::Random,
+                },
+            ));
+        }
+        o.finish();
+        assert!(o.is_clean(), "{:?}", o.violations());
+        // The universal checks still fire.
+        o.check(&rec(
+            30,
+            1,
+            TraceEv::Delivered {
+                origin: 9,
+                seq: 9,
+                from: 0,
+                hop: 1,
+                via: DeliveryPath::Tree,
+            },
+        ));
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, ViolationKind::DeliveryBeforeSend);
+    }
+
+    #[test]
+    fn with_caps_restricts_but_never_enables() {
+        use gocast_sim::StackCaps;
+        let base = OracleConfig::default();
+        let capped = base.with_caps(&StackCaps {
+            degree_bounds: false,
+            pull_after_delivery: true,
+            tree: false,
+        });
+        assert!(!capped.check_degree_bounds);
+        assert!(capped.check_pull_after_delivery);
+        let u = OracleConfig::universal().with_caps(&StackCaps::all());
+        assert!(!u.check_degree_bounds && !u.check_pull_after_delivery);
     }
 
     #[test]
@@ -1304,6 +1504,7 @@ mod tests {
             max_rand: 1,
             max_near: 2,
             degree_check_after_us: 10,
+            ..OracleConfig::default()
         };
         let mut o = InvariantOracle::new(cfg);
         // Bootstrap links at t=0 may exceed the bound freely.
@@ -1364,6 +1565,7 @@ mod tests {
             max_rand: 1,
             max_near: 2,
             degree_check_after_us: 1,
+            ..OracleConfig::default()
         };
         let mut o = InvariantOracle::new(cfg);
         for peer in 0..2 {

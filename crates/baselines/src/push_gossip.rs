@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use gocast::{DeliveryPath, GoCastCommand, GoCastEvent, MsgId};
-use gocast_sim::{Ctx, NodeId, Protocol, SimTime, Timer, TrafficClass, Wire};
+use gocast_sim::{Ctx, NodeId, Protocol, SimTime, Stack, StackCaps, Timer, TrafficClass, Wire};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -257,6 +257,60 @@ impl PushGossipNode {
             self.cfg.pull_timeout,
             Timer::with_payload(timers::PULL_TIMEOUT, id.origin.as_u32(), id.seq as u64),
         );
+    }
+}
+
+impl Stack for PushGossipNode {
+    const NAME: &'static str = "push-gossip";
+
+    /// The baseline only promises the universal invariants: it keeps no
+    /// overlay (no degree bounds), it may re-request an ID whose pull
+    /// timed out, and it builds no tree.
+    fn capabilities() -> StackCaps {
+        StackCaps::universal()
+    }
+
+    fn joined(&self) -> bool {
+        true
+    }
+
+    /// Full membership is assumed, so a live baseline node is always
+    /// "attached" to its dissemination structure.
+    fn attached(&self) -> bool {
+        true
+    }
+
+    fn overlay_degree(&self) -> usize {
+        0
+    }
+
+    fn member_count(&self) -> usize {
+        0
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    fn holds(&self, origin: NodeId, seq: u32) -> bool {
+        self.has_message(MsgId::new(origin, seq))
+    }
+
+    fn cmd_multicast() -> GoCastCommand {
+        GoCastCommand::Multicast
+    }
+
+    fn cmd_join(contact: NodeId) -> GoCastCommand {
+        GoCastCommand::Join { contact }
+    }
+
+    fn cmd_leave() -> GoCastCommand {
+        GoCastCommand::Leave
+    }
+
+    /// No overlay or tree maintenance exists to freeze.
+    fn cmd_freeze() -> Option<GoCastCommand> {
+        None
     }
 }
 

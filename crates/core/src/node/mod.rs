@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use gocast_membership::MemberView;
 use gocast_net::LandmarkVector;
-use gocast_sim::{Ctx, FxHashMap, NodeId, Protocol, SimTime, Timer};
+use gocast_sim::{Ctx, FxHashMap, NodeId, Protocol, SimTime, Stack, StackCaps, Timer};
 use rand::Rng;
 
 use crate::config::GoCastConfig;
@@ -501,6 +501,56 @@ impl Protocol for GoCastNode {
             GoCastCommand::Leave => self.leave(ctx),
             GoCastCommand::FreezeMaintenance => self.frozen = true,
         }
+    }
+}
+
+impl Stack for GoCastNode {
+    const NAME: &'static str = "gocast";
+
+    /// GoCast promises every optional invariant: bounded degrees (the
+    /// accept rules), pull-only-when-missing, and an explicit tree.
+    fn capabilities() -> StackCaps {
+        StackCaps::all()
+    }
+
+    fn joined(&self) -> bool {
+        self.is_joined()
+    }
+
+    fn attached(&self) -> bool {
+        self.is_joined() && (self.is_root() || self.tree_parent().is_some())
+    }
+
+    fn overlay_degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    fn member_count(&self) -> usize {
+        self.view.len()
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    fn holds(&self, origin: NodeId, seq: u32) -> bool {
+        self.has_message(MsgId::new(origin, seq))
+    }
+
+    fn cmd_multicast() -> GoCastCommand {
+        GoCastCommand::Multicast
+    }
+
+    fn cmd_join(contact: NodeId) -> GoCastCommand {
+        GoCastCommand::Join { contact }
+    }
+
+    fn cmd_leave() -> GoCastCommand {
+        GoCastCommand::Leave
+    }
+
+    fn cmd_freeze() -> Option<GoCastCommand> {
+        Some(GoCastCommand::FreezeMaintenance)
     }
 }
 

@@ -251,6 +251,7 @@ impl GoCastNode {
             // Stale accept (we gave up); treat as peer-initiated link so
             // the two sides stay symmetric.
             self.add_link(ctx, from, kind, None, degrees);
+            self.enforce_degree_cap(ctx, kind);
             return;
         };
         if p.peer != from {
@@ -258,6 +259,7 @@ impl GoCastNode {
             // symmetric add.
             *pending = Some(p);
             self.add_link(ctx, from, kind, None, degrees);
+            self.enforce_degree_cap(ctx, kind);
             return;
         }
         // RTT: measured probe when available, else the handshake round
@@ -269,6 +271,41 @@ impl GoCastNode {
         if let Some(victim) = p.replace {
             if self.neighbors.contains_key(&victim) {
                 self.drop_link(ctx, victim, DropReason::Replaced, true);
+            }
+        }
+        // The replace victim can be gone already (crashed, dropped by the
+        // peer) when the accept lands, in which case the add above was
+        // net-new and may have pushed the degree past the ceiling.
+        self.enforce_degree_cap(ctx, kind);
+    }
+
+    /// Restores the accept-rule ceiling `C + slack` after a link add that
+    /// could not be degree-checked up front (stale accepts, replace
+    /// victims that vanished in flight): while `D_kind` exceeds the
+    /// ceiling, drop the worst link of that kind — highest RTT, an
+    /// unmeasured link worst of all — within the same instant.
+    pub(crate) fn enforce_degree_cap(&mut self, ctx: &mut Ctx<'_, Self>, kind: LinkKind) {
+        let cap = match kind {
+            LinkKind::Random => self.c_rand,
+            LinkKind::Nearby => self.c_near,
+        } + self.cfg.degree_slack;
+        loop {
+            let d = match kind {
+                LinkKind::Random => self.d_rand(),
+                LinkKind::Nearby => self.d_near(),
+            };
+            if d <= cap {
+                return;
+            }
+            let victim = self
+                .neighbors
+                .iter()
+                .filter(|(_, n)| n.kind == kind)
+                .max_by_key(|(&p, n)| (n.rtt_us.unwrap_or(u64::MAX), p.as_u32()))
+                .map(|(&p, _)| p);
+            match victim {
+                Some(p) => self.drop_link(ctx, p, DropReason::Surplus, true),
+                None => return,
             }
         }
     }

@@ -1,9 +1,11 @@
 //! Chaos runs: scenario-driven churn, correlated failures and partitions.
 //!
-//! The `chaos` subcommand drives a GoCast overlay through a
-//! [`gocast_sim::Scenario`] — either one of the built-in presets
-//! ([`builtin_scenario`]) or an ad-hoc spec string ([`parse_spec`]) — and
-//! measures how dissemination *degrades and recovers*:
+//! The `chaos` subcommand drives a protocol stack (GoCast by default,
+//! Plumtree via `--stack plumtree`; see [`run_chaos_with`] for the
+//! stack-generic driver) through a [`gocast_sim::Scenario`] — either one
+//! of the built-in presets ([`builtin_scenario`]) or an ad-hoc spec
+//! string ([`parse_spec`]) — and measures how dissemination *degrades and
+//! recovers*:
 //!
 //! - **delivery ratio**, audited end-of-run against message stores: a node
 //!   owes a delivery exactly when the scenario plan says it was present at
@@ -28,19 +30,20 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use gocast::{bootstrap_random_graph, GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode};
+use gocast::{bootstrap_random_graph, GoCastConfig, GoCastEvent, GoCastNode};
 use gocast_analysis::{
-    fmt_ms, fmt_secs, InvariantOracle, MetricsRecorder, OrphanTracker, RecoveryTracker, Table,
-    WindowRatio,
+    fmt_ms, fmt_secs, InvariantOracle, MetricsRecorder, OracleConfig, OrphanTracker,
+    RecoveryTracker, Table, WindowRatio,
 };
+use gocast_plumtree::{PlumtreeConfig, PlumtreeNode};
 use gocast_sim::{
     KernelStats, NodeId, PresenceTimeline, Recorder, Scenario, ScenarioEnv, Sim, SimBuilder,
-    SimTime, Split,
+    SimTime, Split, Stack,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::options::ExpOptions;
+use crate::options::{ExpOptions, StackKind};
 use crate::runners::build_network;
 use crate::sweep::parallel_map;
 
@@ -67,22 +70,50 @@ pub struct ChaosRecorder {
     pub orphans: OrphanTracker,
     /// Online safety-invariant checker.
     pub oracle: InvariantOracle,
+    /// Sum of causal hop counts over all deliveries.
+    pub hop_sum: u64,
+    /// Deliveries carrying a nonzero hop count.
+    pub hops: u64,
+    /// Deliveries recovered via pull/graft (not the primary push path).
+    pub pull_deliveries: u64,
+    /// All deliveries seen in the event stream.
+    pub deliveries: u64,
 }
 
 impl ChaosRecorder {
-    /// A recorder whose oracle bounds match `cfg`.
-    pub fn for_protocol(cfg: &GoCastConfig) -> Self {
+    /// A recorder with an explicit oracle (built per stack from its
+    /// [`gocast_sim::StackCaps`]).
+    pub fn with_oracle(oracle: InvariantOracle) -> Self {
         ChaosRecorder {
             metrics: MetricsRecorder::new(),
             recovery: RecoveryTracker::new(WINDOW),
             orphans: OrphanTracker::new(),
-            oracle: InvariantOracle::for_protocol(cfg),
+            oracle,
+            hop_sum: 0,
+            hops: 0,
+            pull_deliveries: 0,
+            deliveries: 0,
         }
+    }
+
+    /// A recorder whose oracle bounds match a GoCast `cfg`.
+    pub fn for_protocol(cfg: &GoCastConfig) -> Self {
+        Self::with_oracle(InvariantOracle::for_protocol(cfg))
     }
 }
 
 impl Recorder<GoCastEvent> for ChaosRecorder {
     fn record(&mut self, now: SimTime, node: NodeId, event: GoCastEvent) {
+        if let GoCastEvent::Delivered { via, hop, .. } = &event {
+            self.deliveries += 1;
+            if *hop > 0 {
+                self.hop_sum += u64::from(*hop);
+                self.hops += 1;
+            }
+            if matches!(via, gocast::DeliveryPath::Pull) {
+                self.pull_deliveries += 1;
+            }
+        }
         self.recovery.record(now, node, event.clone());
         self.orphans.record(now, node, event.clone());
         self.oracle.record(now, node, event.clone());
@@ -105,6 +136,8 @@ pub struct BurstRepair {
 /// Everything one seeded chaos run produces.
 #[derive(Debug)]
 pub struct ChaosOutcome {
+    /// Name of the stack that ran ([`Stack::NAME`]).
+    pub stack: &'static str,
     /// The seed this run used.
     pub seed: u64,
     /// Concrete faults in the compiled plan.
@@ -130,6 +163,17 @@ pub struct ChaosOutcome {
     pub oracle_records: u64,
     /// Invariant violations found (should be 0).
     pub violations: usize,
+    /// The first few violations, formatted (empty on a clean run) — so a
+    /// failing gate says *what* broke, not just that something did.
+    pub violation_lines: Vec<String>,
+    /// Sum of causal hop counts over event-stream deliveries.
+    pub hop_sum: u64,
+    /// Event-stream deliveries carrying a nonzero hop count.
+    pub hops: u64,
+    /// Event-stream deliveries recovered via pull/graft.
+    pub pull_deliveries: u64,
+    /// All event-stream deliveries.
+    pub event_deliveries: u64,
     /// Kernel counters at the end of the run.
     pub kernel: KernelStats,
 }
@@ -141,6 +185,26 @@ impl ChaosOutcome {
             1.0
         } else {
             self.delivered as f64 / self.expected as f64
+        }
+    }
+
+    /// Mean causal hop count over deliveries that carried one.
+    pub fn mean_hops(&self) -> f64 {
+        if self.hops == 0 {
+            0.0
+        } else {
+            self.hop_sum as f64 / self.hops as f64
+        }
+    }
+
+    /// Fraction of deliveries that needed the recovery path (gossip pull
+    /// for GoCast, IHAVE-triggered graft for Plumtree) rather than the
+    /// primary push.
+    pub fn recovery_fraction(&self) -> f64 {
+        if self.event_deliveries == 0 {
+            0.0
+        } else {
+            self.pull_deliveries as f64 / self.event_deliveries as f64
         }
     }
 
@@ -161,13 +225,19 @@ impl ChaosOutcome {
         let mut s = String::new();
         let _ = write!(
             s,
-            "seed={} plan={} injected={} expected={} delivered={} ratio={:.6}",
+            "stack={} seed={} plan={} injected={} expected={} delivered={} ratio={:.6} \
+             hops={}/{} pulls={}/{}",
+            self.stack,
             self.seed,
             self.plan_len,
             self.injected,
             self.expected,
             self.delivered,
-            self.delivery_ratio()
+            self.delivery_ratio(),
+            self.hop_sum,
+            self.hops,
+            self.pull_deliveries,
+            self.event_deliveries,
         );
         for w in &self.windows {
             let _ = write!(
@@ -220,10 +290,10 @@ impl ChaosOutcome {
     }
 }
 
-/// Fraction of should-be-present, alive nodes attached to the tree
-/// (parent set or believing themselves root) at `t`.
-fn attached_fraction(
-    sim: &Sim<GoCastNode, ChaosRecorder>,
+/// Fraction of should-be-present, alive nodes attached to their stack's
+/// dissemination structure ([`Stack::attached`]) at `t`.
+fn attached_fraction<S: Stack<Event = GoCastEvent>>(
+    sim: &Sim<S, ChaosRecorder>,
     presence: &PresenceTimeline,
     t: SimTime,
 ) -> f64 {
@@ -234,7 +304,7 @@ fn attached_fraction(
             continue;
         }
         present += 1;
-        if node.is_joined() && (node.is_root() || node.tree_parent().is_some()) {
+        if node.attached() {
             attached += 1;
         }
     }
@@ -245,29 +315,89 @@ fn attached_fraction(
     }
 }
 
-/// Runs one seeded chaos experiment: warm the overlay up, compile and
+/// Runs one seeded chaos experiment for [`ExpOptions::stack`].
+///
+/// Both stacks get the same network, bootstrap graph shape, scenario
+/// plan, seeds, injection schedule, and audit; only the protocol differs.
+/// Stack-specific oracle checks are gated by [`Stack::capabilities`]
+/// (Plumtree keeps no degree-bounded random/nearby split, so those checks
+/// are skipped for it; the universal no-early/no-duplicate-delivery
+/// checks always apply).
+pub fn run_chaos(opts: &ExpOptions, scenario: &Scenario) -> ChaosOutcome {
+    // Keep every message in the stores: the end-of-run audit reads them,
+    // and the default 120 s garbage collection would erase the evidence
+    // mid-run.
+    let audit_gc = Duration::from_secs(3600);
+    match opts.stack {
+        StackKind::GoCast => {
+            let cfg = GoCastConfig {
+                gc_wait: audit_gc,
+                ..GoCastConfig::default()
+            };
+            let oracle = InvariantOracle::for_protocol(&cfg);
+            let links_per_node = (cfg.c_degree() / 2).max(1);
+            run_chaos_with(
+                opts,
+                scenario,
+                oracle,
+                links_per_node,
+                |id, links, members| {
+                    GoCastNode::with_initial_links(id, cfg.clone(), links, members)
+                },
+            )
+        }
+        StackKind::Plumtree => {
+            let cfg = PlumtreeConfig {
+                gc_wait: audit_gc,
+                ..PlumtreeConfig::default()
+            };
+            let ocfg = OracleConfig {
+                check_degree_bounds: true,
+                check_pull_after_delivery: true,
+                ..OracleConfig::universal()
+            }
+            .with_caps(&PlumtreeNode::capabilities());
+            let oracle = InvariantOracle::new(ocfg);
+            let links_per_node = (cfg.active_view / 2).max(1);
+            run_chaos_with(
+                opts,
+                scenario,
+                oracle,
+                links_per_node,
+                |id, links, members| {
+                    PlumtreeNode::with_initial_links(id, cfg.clone(), links, members)
+                },
+            )
+        }
+    }
+}
+
+/// The stack-generic chaos driver: warm the overlay up, compile and
 /// schedule `scenario` (site groups come from the latency matrix, so
 /// group faults are correlated site failures), inject the message
-/// workload from nodes the plan says are present, sample tree attachment
-/// every [`SLICE`], drain, and audit.
-pub fn run_chaos(opts: &ExpOptions, scenario: &Scenario) -> ChaosOutcome {
-    let cfg = GoCastConfig {
-        // Keep every message in the stores: the end-of-run audit reads
-        // them, and the default 120 s garbage collection would erase the
-        // evidence mid-run.
-        gc_wait: Duration::from_secs(3600),
-        ..GoCastConfig::default()
-    };
+/// workload from nodes the plan says are present, sample attachment every
+/// [`SLICE`], drain, and audit message stores against the presence
+/// timeline.
+pub fn run_chaos_with<S, F>(
+    opts: &ExpOptions,
+    scenario: &Scenario,
+    oracle: InvariantOracle,
+    links_per_node: usize,
+    mut make: F,
+) -> ChaosOutcome
+where
+    S: Stack<Event = GoCastEvent>,
+    F: FnMut(NodeId, Vec<NodeId>, Vec<NodeId>) -> S,
+{
     let net = build_network(opts);
     let groups: Vec<u32> = net.site_assignment().to_vec();
-    let links_per_node = (cfg.c_degree() / 2).max(1);
     let mut boot = bootstrap_random_graph(opts.nodes, links_per_node, opts.seed ^ 0xB007);
     let mut sim =
         SimBuilder::new(net)
             .seed(opts.seed)
-            .build_with(ChaosRecorder::for_protocol(&cfg), |id| {
+            .build_with(ChaosRecorder::with_oracle(oracle), |id| {
                 let (links, members) = boot(id);
-                GoCastNode::with_initial_links(id, cfg.clone(), links, members)
+                make(id, links, members)
             });
     sim.run_until(SimTime::ZERO + opts.warmup);
 
@@ -275,11 +405,7 @@ pub fn run_chaos(opts: &ExpOptions, scenario: &Scenario) -> ChaosOutcome {
         .with_groups(&groups)
         .starting_at(sim.now());
     let plan = scenario.compile(&env);
-    plan.schedule_into(
-        &mut sim,
-        |contact| GoCastCommand::Join { contact },
-        || GoCastCommand::Leave,
-    );
+    plan.schedule_into(&mut sim, |contact| S::cmd_join(contact), || S::cmd_leave());
     let presence = plan.presence();
 
     // Injections come from nodes the plan says are present at send time
@@ -294,7 +420,7 @@ pub fn run_chaos(opts: &ExpOptions, scenario: &Scenario) -> ChaosOutcome {
                 break cand;
             }
         };
-        sim.schedule_command(at, src, GoCastCommand::Multicast);
+        sim.schedule_command(at, src, S::cmd_multicast());
     }
 
     // Step in slices, sampling tree attachment for repair measurement.
@@ -331,7 +457,7 @@ pub fn run_chaos(opts: &ExpOptions, scenario: &Scenario) -> ChaosOutcome {
                 continue;
             }
             owed += 1;
-            if sim.node(n).has_message(id) {
+            if sim.node(n).holds(id.origin, id.seq) {
                 delivered += 1;
             }
         }
@@ -356,6 +482,7 @@ pub fn run_chaos(opts: &ExpOptions, scenario: &Scenario) -> ChaosOutcome {
         .collect();
 
     ChaosOutcome {
+        stack: S::NAME,
         seed: opts.seed,
         plan_len: plan.len(),
         injected: rec.recovery.injected_count(),
@@ -368,6 +495,17 @@ pub fn run_chaos(opts: &ExpOptions, scenario: &Scenario) -> ChaosOutcome {
         orphan_max: rec.orphans.max_spell(),
         oracle_records: rec.oracle.records_checked(),
         violations: rec.oracle.violations().len(),
+        violation_lines: rec
+            .oracle
+            .violations()
+            .iter()
+            .take(8)
+            .map(|v| v.to_string())
+            .collect(),
+        hop_sum: rec.hop_sum,
+        hops: rec.hops,
+        pull_deliveries: rec.pull_deliveries,
+        event_deliveries: rec.deliveries,
         kernel: sim.kernel_stats(),
     }
 }
@@ -618,12 +756,15 @@ pub fn chaos(
     let outcomes = chaos_sweep(opts, &scenario, seeds);
 
     let mut table = Table::new([
+        "stack",
         "seed",
         "faults",
         "injected",
         "expected",
         "delivered",
         "ratio",
+        "mean_hops",
+        "recovery_frac",
         "mean_repair_ms",
         "orphan_mean_ms",
         "orphan_max_ms",
@@ -631,12 +772,15 @@ pub fn chaos(
     ]);
     for o in &outcomes {
         table.row([
+            o.stack.to_string(),
             o.seed.to_string(),
             o.plan_len.to_string(),
             o.injected.to_string(),
             o.expected.to_string(),
             o.delivered.to_string(),
             format!("{:.4}", o.delivery_ratio()),
+            format!("{:.2}", o.mean_hops()),
+            format!("{:.4}", o.recovery_fraction()),
             o.mean_repair()
                 .map(|d| format!("{:.0}", d.as_secs_f64() * 1000.0))
                 .unwrap_or_else(|| "-".into()),
@@ -693,6 +837,11 @@ pub fn chaos(
         .map(ChaosOutcome::delivery_ratio)
         .fold(f64::INFINITY, f64::min);
     let violations: usize = outcomes.iter().map(|o| o.violations).sum();
+    for o in &outcomes {
+        for line in &o.violation_lines {
+            eprintln!("  violation [{} seed {}]: {line}", o.stack, o.seed);
+        }
+    }
     println!(
         "worst-seed delivery ratio {:.4}; invariant oracle: {} violation(s) across {} record(s)",
         worst,
@@ -771,6 +920,33 @@ mod tests {
         opts.drain = Duration::from_secs(20);
         let scenario = parse_spec("churn(start=0,end=4,leave=0.5,join=0.5)").unwrap();
         let a = run_chaos(&opts, &scenario);
+        assert_eq!(a.injected, 8);
+        assert_eq!(a.violations, 0, "oracle must stay clean under churn");
+        assert!(
+            a.delivery_ratio() > 0.95,
+            "delivery ratio {} too low",
+            a.delivery_ratio()
+        );
+        let b = run_chaos(&opts, &scenario);
+        assert_eq!(
+            a.summary_string(),
+            b.summary_string(),
+            "same options must replay byte-identically"
+        );
+    }
+
+    #[test]
+    fn tiny_plumtree_chaos_run_delivers_and_replays_identically() {
+        let mut opts = ExpOptions::quick().with_stack(StackKind::Plumtree);
+        opts.nodes = 32;
+        opts.sites = 32;
+        opts.warmup = Duration::from_secs(15);
+        opts.messages = 8;
+        opts.rate = 2.0;
+        opts.drain = Duration::from_secs(20);
+        let scenario = parse_spec("churn(start=0,end=4,leave=0.5,join=0.5)").unwrap();
+        let a = run_chaos(&opts, &scenario);
+        assert_eq!(a.stack, "plumtree");
         assert_eq!(a.injected, 8);
         assert_eq!(a.violations, 0, "oracle must stay clean under churn");
         assert!(

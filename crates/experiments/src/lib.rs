@@ -19,11 +19,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod compare;
 pub mod figures;
 mod options;
 pub mod runners;
 pub mod sweep;
 pub mod testnet;
 
-pub use options::ExpOptions;
+pub use options::{ExpOptions, StackKind};
 pub use runners::{DelayStats, ExpRecorder, Proto};

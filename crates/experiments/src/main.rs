@@ -25,6 +25,8 @@
 //! trace-fail  same with 20% concurrent failures (measures recovery)
 //! chaos   scenario-driven faults (churn, site crashes, partitions, loss)
 //!         with recovery metrics and the online invariant oracle
+//! compare GoCast vs Plumtree head-to-head: both stacks through the same
+//!         chaos presets, seeds, oracle, and audit; side-by-side CSV
 //! testnet sim-vs-wire conformance: the same workload through the
 //!         simulator and through real loopback-UDP nodes (wall-clock
 //!         defaults: 16 nodes, 200 messages; accepts --scenario/--spec)
@@ -38,22 +40,26 @@
 //! (fan independent runs across N worker threads; output is byte-identical
 //! to the default fully serial `--jobs 1`).
 //!
-//! `chaos`/`testnet` flags: `--scenario NAME` (one of baseline, churn,
-//! catastrophe, partition, flashcrowd, lossy; default churn for `chaos`,
-//! baseline for `testnet`), `--spec STR` (an ad-hoc scenario spec like
-//! `churn(end=60,leave=0.5,join=0.5);loss(p=0.01)`, overriding
-//! `--scenario`), `--seeds K` (`chaos` only: run K consecutive seeds,
-//! composable with `--jobs`).
+//! `chaos`/`testnet`/`compare` flags: `--scenario NAME` (one of baseline,
+//! churn, catastrophe, partition, flashcrowd, lossy; default churn for
+//! `chaos`, baseline for `testnet`; for `compare` it narrows the default
+//! preset trio churn+partition+flashcrowd to one), `--spec STR` (an
+//! ad-hoc scenario spec like `churn(end=60,leave=0.5,join=0.5);loss(p=0.01)`,
+//! overriding `--scenario`; not accepted by `compare`), `--seeds K`
+//! (`chaos`/`compare`: run K consecutive seeds, composable with
+//! `--jobs`), `--stack NAME` (gocast or plumtree; selects the protocol
+//! stack `chaos` drives — default gocast, the historic behavior —
+//! ignored by `compare`, which always runs both).
 
 use std::time::Duration;
 
-use gocast_experiments::{figures, ExpOptions};
+use gocast_experiments::{figures, ExpOptions, StackKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|testnet|all> \
+        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|compare|testnet|all> \
          [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--jobs N] \
-         [--scenario NAME] [--spec STR] [--seeds K]"
+         [--scenario NAME] [--spec STR] [--seeds K] [--stack gocast|plumtree]"
     );
     std::process::exit(2);
 }
@@ -89,8 +95,10 @@ fn parse_opts(args: &[String]) -> CliArgs {
         match arg {
             "--quick" => {
                 let keep_out = opts.out_dir.clone();
+                let keep_stack = opts.stack;
                 opts = ExpOptions::quick();
                 opts.out_dir = keep_out;
+                opts.stack = keep_stack;
             }
             "--nodes" => explicit_nodes = Some(take("--nodes").parse().expect("--nodes")),
             "--seed" => opts.seed = take("--seed").parse().expect("--seed"),
@@ -109,6 +117,14 @@ fn parse_opts(args: &[String]) -> CliArgs {
             "--scenario" => scenario = take("--scenario"),
             "--spec" => spec = Some(take("--spec")),
             "--seeds" => seeds = take("--seeds").parse().expect("--seeds"),
+            "--stack" => {
+                let name = take("--stack");
+                opts.stack = StackKind::parse(&name).unwrap_or_else(|| {
+                    let all: Vec<&str> = StackKind::ALL.iter().map(|k| k.name()).collect();
+                    eprintln!("unknown stack `{name}` (one of: {})", all.join(", "));
+                    usage()
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -248,6 +264,28 @@ fn main() {
                 cli.seeds,
             );
             if outcomes.iter().any(|o| o.violations > 0) {
+                eprintln!("done in {:?}", t0.elapsed());
+                std::process::exit(1);
+            }
+        }
+        "compare" => {
+            if cli.spec.is_some() {
+                eprintln!("compare runs the built-in presets; --spec is not accepted");
+                usage()
+            }
+            // `--scenario` narrows the default preset trio to one.
+            let explicit = args.iter().any(|a| a == "--scenario");
+            let presets: Vec<&str> = if explicit {
+                vec![cli.scenario.as_str()]
+            } else {
+                gocast_experiments::compare::COMPARE_PRESETS.to_vec()
+            };
+            let rows = gocast_experiments::compare::compare(&opts, &presets, cli.seeds);
+            let violations: usize = rows
+                .iter()
+                .map(|r| r.gocast.violations + r.plumtree.violations)
+                .sum();
+            if violations > 0 {
                 eprintln!("done in {:?}", t0.elapsed());
                 std::process::exit(1);
             }

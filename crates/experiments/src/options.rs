@@ -1,7 +1,46 @@
 //! Experiment options shared by the CLI and the benchmark harness.
 
+use std::fmt;
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// Which protocol stack an experiment drives.
+///
+/// Every stack implements [`gocast_sim::Stack`] on the same kernel, so a
+/// run differs *only* in the protocol: network model, seeds, fault
+/// scenario, and metrics pipeline are shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StackKind {
+    /// The paper's protocol (default; keeps the CLI's historic behavior).
+    #[default]
+    GoCast,
+    /// Plumtree dissemination over HyParView membership.
+    Plumtree,
+}
+
+impl StackKind {
+    /// Every selectable stack, in CLI listing order.
+    pub const ALL: [StackKind; 2] = [StackKind::GoCast, StackKind::Plumtree];
+
+    /// Stable CLI/trace name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StackKind::GoCast => "gocast",
+            StackKind::Plumtree => "plumtree",
+        }
+    }
+
+    /// Parses the name accepted by `--stack`.
+    pub fn parse(s: &str) -> Option<Self> {
+        StackKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for StackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Scale and output parameters for a run.
 #[derive(Debug, Clone)]
@@ -33,6 +72,8 @@ pub struct ExpOptions {
     /// are identical at any job count; parallelism only changes which CPU
     /// core a run lands on. The default of 1 keeps the fully serial path.
     pub jobs: usize,
+    /// Which protocol stack to run (`--stack`; default GoCast).
+    pub stack: StackKind,
 }
 
 impl Default for ExpOptions {
@@ -48,6 +89,7 @@ impl Default for ExpOptions {
             out_dir: Some(PathBuf::from("results")),
             trace_out: None,
             jobs: 1,
+            stack: StackKind::GoCast,
         }
     }
 }
@@ -69,7 +111,14 @@ impl ExpOptions {
             out_dir: None,
             trace_out: None,
             jobs: 1,
+            stack: StackKind::GoCast,
         }
+    }
+
+    /// Selects the protocol stack (builder style).
+    pub fn with_stack(mut self, stack: StackKind) -> Self {
+        self.stack = stack;
+        self
     }
 
     /// Scales node count (builder style).
@@ -159,5 +208,19 @@ mod tests {
         let q = ExpOptions::quick();
         assert!(q.nodes <= 256);
         assert!(q.out_dir.is_none());
+    }
+
+    #[test]
+    fn stack_names_round_trip_and_default_is_gocast() {
+        assert_eq!(ExpOptions::default().stack, StackKind::GoCast);
+        for k in StackKind::ALL {
+            assert_eq!(StackKind::parse(k.name()), Some(k));
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!(StackKind::parse("chord"), None);
+        assert_eq!(
+            ExpOptions::quick().with_stack(StackKind::Plumtree).stack,
+            StackKind::Plumtree
+        );
     }
 }

@@ -7,15 +7,15 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
-use gocast::{snapshot, GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode, LinkKind, Snapshot};
+use gocast::{snapshot, GoCastConfig, GoCastEvent, GoCastNode, LinkKind, Snapshot};
 use gocast_analysis::{Cdf, DelayHistogram, Histogram, MetricsRecorder};
 use gocast_baselines::{PushGossipConfig, PushGossipNode};
 use gocast_net::{synthetic_king, SiteLatencyMatrix, SyntheticKingConfig};
-use gocast_sim::{KernelStats, NodeId, Recorder, Sim, SimBuilder, SimTime, TraceRecorder};
+use gocast_sim::{KernelStats, NodeId, Recorder, Sim, SimBuilder, SimTime, Stack, TraceRecorder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::options::ExpOptions;
+use crate::options::{ExpOptions, StackKind};
 
 /// Distinguishes traces when one process runs several simulations (e.g.
 /// `fig3a` runs five protocols): run `k > 0` writes `<stem>.<k>.<ext>`.
@@ -59,7 +59,13 @@ impl ExpRecorder {
             match TraceRecorder::create(&path) {
                 Ok(rec) => {
                     eprintln!("tracing to {}", path.display());
-                    Some(rec)
+                    // GoCast traces keep the historic untagged schema
+                    // (readers default a missing `proto` to gocast); other
+                    // stacks are tagged explicitly.
+                    Some(match opts.stack {
+                        StackKind::GoCast => rec,
+                        other => rec.with_proto(other.name()),
+                    })
                 }
                 Err(e) => {
                     eprintln!("warning: cannot open trace {}: {e}", path.display());
@@ -169,23 +175,24 @@ fn failure_set(opts: &ExpOptions, fail_frac: f64) -> Vec<NodeId> {
 }
 
 /// Schedules `opts.messages` multicasts at `opts.rate` from random live
-/// sources, starting at `start`.
+/// sources, starting at `start`. Works for any [`Stack`], which supplies
+/// the protocol's multicast command.
 fn schedule_injections<P>(sim: &mut Sim<P, ExpRecorder>, opts: &ExpOptions, start: SimTime)
 where
-    P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
+    P: Stack<Event = gocast::GoCastEvent>,
 {
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5EED);
     let live: Vec<NodeId> = sim.alive_nodes().collect();
     for i in 0..opts.messages {
         let at = start + Duration::from_secs_f64(i as f64 / opts.rate);
         let src = live[rng.gen_range(0..live.len())];
-        sim.schedule_command(at, src, GoCastCommand::Multicast);
+        sim.schedule_command(at, src, P::cmd_multicast());
     }
 }
 
 fn collect_delay_stats<P>(sim: &Sim<P, ExpRecorder>, opts: &ExpOptions, label: String) -> DelayStats
 where
-    P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
+    P: Stack<Event = gocast::GoCastEvent>,
 {
     let live: Vec<NodeId> = sim.alive_nodes().collect();
     let rec = sim.recorder();
@@ -261,7 +268,7 @@ fn apply_failures_and_freeze<P>(
     fail_frac: f64,
     freeze: bool,
 ) where
-    P: gocast_sim::Protocol<Command = GoCastCommand, Event = gocast::GoCastEvent>,
+    P: Stack<Event = gocast::GoCastEvent>,
 {
     if fail_frac <= 0.0 {
         return;
@@ -269,10 +276,12 @@ fn apply_failures_and_freeze<P>(
     for id in failure_set(opts, fail_frac) {
         sim.fail_node(id);
     }
-    if freeze {
+    // A stack without repair activity has no freeze command; skip.
+    if freeze && P::cmd_freeze().is_some() {
         let live: Vec<NodeId> = sim.alive_nodes().collect();
         for id in live {
-            sim.command_now(id, GoCastCommand::FreezeMaintenance);
+            let cmd = P::cmd_freeze().expect("checked above");
+            sim.command_now(id, cmd);
         }
         sim.run_for(Duration::from_millis(1));
     }
@@ -399,6 +408,7 @@ mod tests {
             out_dir: None,
             trace_out: None,
             jobs: 1,
+            stack: StackKind::GoCast,
         }
     }
 

@@ -1,0 +1,86 @@
+//! Tunable parameters of the Plumtree/HyParView stack.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`PlumtreeNode`](crate::PlumtreeNode).
+///
+/// Membership parameters follow HyParView (Leitão et al., DSN 2007):
+/// a small symmetric *active* view carries all protocol traffic, a larger
+/// *passive* view is a repair reservoir refreshed by periodic shuffles.
+/// Dissemination parameters follow Plumtree (Leitão et al., SRDS 2007):
+/// payloads are eagerly pushed along a spanning subtree of the active
+/// view, IHAVE announcements cover the remaining (lazy) edges, and
+/// GRAFT/PRUNE move edges between the two sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlumtreeConfig {
+    /// Active-view size: the node's overlay degree target. Default 6
+    /// matches GoCast's `C_near + C_rand` so head-to-head runs compare
+    /// equal-degree overlays.
+    pub active_view: usize,
+    /// Passive-view capacity (the repair reservoir).
+    pub passive_view: usize,
+    /// Active random-walk length for `ForwardJoin` placement.
+    pub arwl: u32,
+    /// Passive random-walk length: the `ForwardJoin` TTL at which the
+    /// joiner is also recorded in the passive view.
+    pub prwl: u32,
+    /// Period of the shuffle that refreshes the passive view.
+    pub shuffle_period: Duration,
+    /// Members carried per shuffle (self + passive sample).
+    pub shuffle_len: usize,
+    /// Shuffle random-walk TTL.
+    pub shuffle_ttl: u32,
+    /// Period of the maintenance tick (heartbeats, failure detection,
+    /// active-view refill).
+    pub maintenance_period: Duration,
+    /// Silence threshold after which an active peer is declared failed.
+    pub neighbor_timeout: Duration,
+    /// How long to wait for the eager payload after an IHAVE before
+    /// grafting the announcer's edge.
+    pub ihave_timeout: Duration,
+    /// Retry interval between graft attempts (rotating announcers).
+    pub graft_retry: Duration,
+    /// Give up grafting a message after this many attempts (a later
+    /// IHAVE restarts recovery).
+    pub max_graft_rounds: u32,
+    /// Message retention before garbage collection.
+    pub gc_wait: Duration,
+    /// Multicast payload size (bytes, accounting only).
+    pub payload_size: u32,
+}
+
+impl Default for PlumtreeConfig {
+    fn default() -> Self {
+        PlumtreeConfig {
+            active_view: 6,
+            passive_view: 24,
+            arwl: 6,
+            prwl: 3,
+            shuffle_period: Duration::from_secs(10),
+            shuffle_len: 8,
+            shuffle_ttl: 4,
+            maintenance_period: Duration::from_secs(1),
+            neighbor_timeout: Duration::from_secs(3),
+            ihave_timeout: Duration::from_millis(120),
+            graft_retry: Duration::from_millis(300),
+            max_graft_rounds: 8,
+            gc_wait: Duration::from_secs(120),
+            payload_size: 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_degree_matches_gocast_total() {
+        let cfg = PlumtreeConfig::default();
+        assert_eq!(cfg.active_view, 6, "C_near(5) + C_rand(1)");
+        assert!(cfg.passive_view > cfg.active_view);
+        assert!(cfg.ihave_timeout < cfg.graft_retry);
+    }
+}

@@ -79,6 +79,7 @@ mod protocol;
 mod queue;
 pub mod recorder;
 pub mod scenario;
+mod stack;
 mod stats;
 mod time;
 mod trace;
@@ -93,6 +94,7 @@ pub use recorder::{FilterRecorder, FnRecorder, NullRecorder, Recorder, TeeRecord
 pub use scenario::{
     Fault, PlannedFault, PresenceTimeline, Scenario, ScenarioEnv, ScenarioPlan, Split,
 };
+pub use stack::{Stack, StackCaps};
 pub use stats::{ClassCounters, TrafficClass, TrafficStats};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceRecorder};

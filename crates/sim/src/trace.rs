@@ -78,6 +78,9 @@ pub struct TraceRecorder<W: io::Write> {
     buf: String,
     lines: u64,
     error: Option<io::Error>,
+    /// Stack name stamped as a `"proto"` field on every line (`None` =
+    /// untagged; readers default untagged lines to `gocast`).
+    proto: Option<&'static str>,
 }
 
 impl TraceRecorder<io::BufWriter<File>> {
@@ -99,7 +102,36 @@ impl<W: io::Write> TraceRecorder<W> {
             buf: String::with_capacity(FLUSH_THRESHOLD + 256),
             lines: 0,
             error: None,
+            proto: None,
         }
+    }
+
+    /// Tags every subsequent line with `"proto":"<name>"` (builder
+    /// style). Use the stack's stable name; readers treat untagged lines
+    /// as `gocast`, so GoCast traces may stay untagged for backward
+    /// compatibility.
+    ///
+    /// ```
+    /// use gocast_sim::{NodeId, Recorder, SimTime, TraceEvent, TraceRecorder};
+    ///
+    /// struct Tick;
+    /// impl TraceEvent for Tick {
+    ///     fn trace_fields(&self, out: &mut String) {
+    ///         out.push_str("\"ev\":\"tick\"");
+    ///     }
+    /// }
+    ///
+    /// let mut rec = TraceRecorder::new(Vec::new()).with_proto("plumtree");
+    /// rec.record(SimTime::from_secs(1), NodeId::new(7), Tick);
+    /// let bytes = rec.finish().unwrap();
+    /// assert_eq!(
+    ///     String::from_utf8(bytes).unwrap(),
+    ///     "{\"t_us\":1000000,\"node\":7,\"proto\":\"plumtree\",\"ev\":\"tick\"}\n"
+    /// );
+    /// ```
+    pub fn with_proto(mut self, proto: &'static str) -> Self {
+        self.proto = Some(proto);
+        self
     }
 
     /// Lines written (including any still in the buffer).
@@ -156,6 +188,9 @@ impl<W: io::Write, E: TraceEvent> Recorder<E> for TraceRecorder<W> {
     fn record(&mut self, now: SimTime, node: NodeId, event: E) {
         let t_us = now.as_nanos() / 1_000;
         let _ = write!(self.buf, "{{\"t_us\":{},\"node\":{},", t_us, node.as_u32());
+        if let Some(proto) = self.proto {
+            let _ = write!(self.buf, "\"proto\":\"{proto}\",");
+        }
         event.trace_fields(&mut self.buf);
         self.buf.push_str("}\n");
         self.lines += 1;
@@ -197,6 +232,17 @@ mod tests {
             out,
             "{\"t_us\":1,\"node\":3,\"ev\":\"ev\",\"v\":9}\n\
              {\"t_us\":2000000,\"node\":0,\"ev\":\"ev\",\"v\":1}\n"
+        );
+    }
+
+    #[test]
+    fn proto_tag_lands_between_node_and_event_fields() {
+        let mut rec = TraceRecorder::new(Vec::new()).with_proto("plumtree");
+        rec.record(SimTime::from_nanos(2_000), NodeId::new(1), Ev(4));
+        let out = String::from_utf8(rec.finish().unwrap()).unwrap();
+        assert_eq!(
+            out,
+            "{\"t_us\":2,\"node\":1,\"proto\":\"plumtree\",\"ev\":\"ev\",\"v\":4}\n"
         );
     }
 

@@ -27,20 +27,27 @@ echo "==> cargo doc --no-deps (missing docs are errors)"
 # are exempt from the docs gate. gocast-sim and gocast-core carry
 # #![warn(missing_docs)], which -D warnings turns into errors.
 FIRST_PARTY=(-p gocast-sim -p gocast-net -p gocast-membership -p gocast
-    -p gocast-baselines -p gocast-analysis -p gocast-experiments
-    -p gocast-udp -p gocast-testnet -p gocast-bench -p gocast-tests
-    -p gocast-examples)
+    -p gocast-baselines -p gocast-plumtree -p gocast-analysis
+    -p gocast-experiments -p gocast-udp -p gocast-testnet -p gocast-bench
+    -p gocast-tests -p gocast-examples)
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 
 echo "==> cargo test --doc"
 cargo test -q --doc -p gocast-sim -p gocast-net -p gocast-membership \
-    -p gocast -p gocast-baselines -p gocast-analysis -p gocast-experiments \
-    -p gocast-udp -p gocast-testnet
+    -p gocast -p gocast-baselines -p gocast-plumtree -p gocast-analysis \
+    -p gocast-experiments -p gocast-udp -p gocast-testnet
 
 echo "==> chaos smoke scenario (oracle-gated)"
 # A quick scenario-driven churn run; the subcommand exits nonzero if the
 # online invariant oracle reports any violation.
 cargo run --release -q -p gocast-experiments -- chaos --quick --nodes 64 \
+    --scenario churn --seeds 2 --no-csv
+
+echo "==> compare smoke: gocast vs plumtree under the same chaos preset"
+# Both stacks through one preset with identical seeds and audit; the
+# subcommand exits nonzero if either stack's invariant oracle reports a
+# violation, so a regression in either protocol fails the gate.
+cargo run --release -q -p gocast-experiments -- compare --quick --nodes 64 \
     --scenario churn --seeds 2 --no-csv
 
 echo "==> traced smoke experiment + invariant oracle"

@@ -1,0 +1,109 @@
+//! Head-to-head comparison guarantees: the `compare` harness must be
+//! deterministic across worker-thread counts (its whole point is
+//! attributing differences to the *protocol*, so the harness itself may
+//! not introduce any), and both stacks must hold the universal safety
+//! invariants under chaos at a respectable scale.
+
+use std::time::Duration;
+
+use gocast_experiments::chaos::{builtin_scenario, run_chaos};
+use gocast_experiments::compare::{compare_sweep, compare_table, COMPARE_PRESETS};
+use gocast_experiments::{ExpOptions, StackKind};
+
+fn small() -> ExpOptions {
+    let mut opts = ExpOptions::quick();
+    opts.nodes = 32;
+    opts.sites = 32;
+    opts.warmup = Duration::from_secs(10);
+    opts.messages = 6;
+    opts.rate = 2.0;
+    opts.drain = Duration::from_secs(15);
+    opts
+}
+
+/// The side-by-side table (and hence `compare.csv`) is byte-identical at
+/// `--jobs 1` and `--jobs 4`, for every default preset, covering both
+/// stacks and two seeds. So are the underlying per-run digests.
+#[test]
+fn compare_output_is_byte_identical_across_job_counts() {
+    let serial = compare_sweep(&small().with_jobs(1), COMPARE_PRESETS, 2).unwrap();
+    let threaded = compare_sweep(&small().with_jobs(4), COMPARE_PRESETS, 2).unwrap();
+    assert_eq!(serial.len(), COMPARE_PRESETS.len() * 2);
+    assert_eq!(serial.len(), threaded.len());
+    for (a, b) in serial.iter().zip(&threaded) {
+        assert_eq!(a.preset, b.preset);
+        assert_eq!(
+            a.gocast.summary_string(),
+            b.gocast.summary_string(),
+            "gocast run ({}, seed {}) differs across job counts",
+            a.preset,
+            a.seed()
+        );
+        assert_eq!(
+            a.plumtree.summary_string(),
+            b.plumtree.summary_string(),
+            "plumtree run ({}, seed {}) differs across job counts",
+            a.preset,
+            a.seed()
+        );
+    }
+    assert_eq!(
+        compare_table(&serial).to_string(),
+        compare_table(&threaded).to_string(),
+        "compare.csv content must not depend on --jobs"
+    );
+}
+
+/// Both stacks complete a 64-node churn run with zero oracle violations
+/// and near-total delivery to the nodes that owed one.
+#[test]
+fn both_stacks_survive_chaos_at_64_nodes_with_zero_violations() {
+    let mut opts = ExpOptions::quick();
+    opts.nodes = 64;
+    opts.sites = 64;
+    opts.warmup = Duration::from_secs(15);
+    opts.messages = 10;
+    opts.rate = 2.0;
+    opts.drain = Duration::from_secs(20);
+    let scenario = builtin_scenario("churn", &opts).unwrap();
+    for stack in StackKind::ALL {
+        let o = run_chaos(&opts.clone().with_stack(stack), &scenario);
+        assert_eq!(o.stack, stack.name());
+        assert_eq!(o.injected, 10, "{stack}: wrong injection count");
+        assert_eq!(
+            o.violations, 0,
+            "{stack}: oracle violations under churn at 64 nodes"
+        );
+        assert!(
+            o.oracle_records > 1_000,
+            "{stack}: run too quiet ({} records)",
+            o.oracle_records
+        );
+        assert!(
+            o.delivery_ratio() > 0.95,
+            "{stack}: delivery ratio {} too low",
+            o.delivery_ratio()
+        );
+    }
+}
+
+/// The two stacks genuinely differ on the wire: same seed and scenario,
+/// but Plumtree reports no tree capability, carves its structure by
+/// pruning (so redundant receptions show up early), and its digest never
+/// collides with GoCast's.
+#[test]
+fn stacks_are_distinguishable_under_identical_conditions() {
+    let opts = small();
+    let scenario = builtin_scenario("baseline", &opts).unwrap();
+    let go = run_chaos(&opts.clone().with_stack(StackKind::GoCast), &scenario);
+    let pt = run_chaos(&opts.clone().with_stack(StackKind::Plumtree), &scenario);
+    assert_eq!(go.seed, pt.seed);
+    assert_eq!(go.injected, pt.injected);
+    assert_ne!(
+        go.summary_string(),
+        pt.summary_string(),
+        "different protocols must not produce the same digest"
+    );
+    assert!(go.delivery_ratio() > 0.99, "gocast baseline must deliver");
+    assert!(pt.delivery_ratio() > 0.99, "plumtree baseline must deliver");
+}
