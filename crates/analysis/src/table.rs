@@ -64,10 +64,28 @@ impl Table {
     ///
     /// Propagates IO errors from creating or writing the file.
     pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        self.write_csv_with_comment(path, None)
+    }
+
+    /// Like [`Table::write_csv`], with an optional `#`-prefixed comment
+    /// line (e.g. a run-provenance manifest) written before the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from creating or writing the file.
+    pub fn write_csv_with_comment<P: AsRef<Path>>(
+        &self,
+        path: P,
+        comment: Option<&str>,
+    ) -> std::io::Result<()> {
         if let Some(dir) = path.as_ref().parent() {
             std::fs::create_dir_all(dir)?;
         }
         let mut f = std::fs::File::create(path)?;
+        if let Some(c) = comment {
+            debug_assert!(c.starts_with('#'), "CSV comments start with #");
+            writeln!(f, "{c}")?;
+        }
         let esc = |s: &str| {
             if s.contains(',') || s.contains('"') || s.contains('\n') {
                 format!("\"{}\"", s.replace('"', "\"\""))

@@ -564,6 +564,11 @@ pub fn scan_trace<R: BufRead>(
         if line.trim().is_empty() {
             continue;
         }
+        // Run-manifest header lines stamp provenance on the artifact; they
+        // carry no trace record.
+        if line.starts_with("{\"manifest\":") {
+            continue;
+        }
         let rec = parse_line_inner(&line).map_err(|msg| TraceError::Parse {
             line: idx as u64 + 1,
             msg,

@@ -190,6 +190,34 @@ fn bench_kernel_throughput(c: &mut Criterion) {
             traced.kernel_stats().events_processed
         })
     });
+
+    // The same workload with kernel telemetry (counters, queue-depth and
+    // dispatch-time histograms) enabled: measures the metrics-registry
+    // overhead relative to the untraced number. DESIGN.md budgets ≤5%.
+    let mut boot = gocast::bootstrap_random_graph(128, 3, 9);
+    let net = synthetic_king(
+        128,
+        &SyntheticKingConfig {
+            sites: 128,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let mut metered = SimBuilder::new(net).seed(9).telemetry().build(|id| {
+        let (links, members) = boot(id);
+        GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+    });
+    metered.run_until(SimTime::from_secs(30));
+    let before = metered.kernel_stats().events_processed;
+    metered.run_for(Duration::from_secs(1));
+    let metered_per_sim_sec = metered.kernel_stats().events_processed - before;
+    g.throughput(Throughput::Elements(metered_per_sim_sec));
+    g.bench_function("events_per_steady_second_128_metrics", |b| {
+        b.iter(|| {
+            metered.run_for(Duration::from_secs(1));
+            metered.kernel_stats().events_processed
+        })
+    });
     g.finish();
 }
 
@@ -307,6 +335,10 @@ fn main() {
     json.push_str(&format!(
         "  \"kernel_events_per_sec_traced\": {},\n",
         rate_of("kernel/events_per_steady_second_128_traced"),
+    ));
+    json.push_str(&format!(
+        "  \"kernel_events_per_sec_metrics\": {},\n",
+        rate_of("kernel/events_per_steady_second_128_metrics"),
     ));
     json.push_str(&format!(
         "  \"testnet_msgs_per_sec\": {}\n}}\n",

@@ -411,6 +411,32 @@ pub enum GoCastEvent {
     },
 }
 
+impl GoCastEvent {
+    /// Folds this event into live [`ProtocolMetrics`](gocast_metrics::ProtocolMetrics) counters.
+    ///
+    /// `GoCastEvent` is the common event currency of every stack (GoCast,
+    /// Plumtree, the gossip baselines), which makes this fold
+    /// capability-neutral: a stack without a capability simply never emits
+    /// the corresponding event, leaving its counter at zero. Overlay and
+    /// tree maintenance events (`LinkAdded`, `ParentChanged`, ...) are
+    /// structural rather than per-message and are not counted.
+    pub fn observe_into(&self, m: &mut gocast_metrics::ProtocolMetrics) {
+        match self {
+            GoCastEvent::Injected { .. } => m.injected.inc(),
+            GoCastEvent::Delivered { .. } => m.deliveries.inc(),
+            GoCastEvent::PushSent { .. } => m.pushes.inc(),
+            GoCastEvent::IHaveSent { .. } => m.ihaves.inc(),
+            GoCastEvent::PullRequested { .. } => m.pull_requests.inc(),
+            GoCastEvent::PullServed { .. } => m.pulls_served.inc(),
+            GoCastEvent::RedundantData { .. } => m.redundant_drops.inc(),
+            GoCastEvent::LinkAdded { .. }
+            | GoCastEvent::LinkDropped { .. }
+            | GoCastEvent::ParentChanged { .. }
+            | GoCastEvent::BecameRoot { .. } => {}
+        }
+    }
+}
+
 impl gocast_sim::TraceEvent for GoCastEvent {
     /// The JSONL trace schema: one flat object per event with stable
     /// snake_case keys. `ev` names the kind; message ids are split into

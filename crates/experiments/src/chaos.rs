@@ -43,8 +43,11 @@ use gocast_sim::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use gocast_metrics::ProtocolMetrics;
+
 use crate::options::{ExpOptions, StackKind};
-use crate::runners::build_network;
+use crate::report::kernel_digest;
+use crate::runners::{build_network, MetricsStream};
 use crate::sweep::parallel_map;
 
 /// Sampling period for the tree-attachment time series.
@@ -70,6 +73,8 @@ pub struct ChaosRecorder {
     pub orphans: OrphanTracker,
     /// Online safety-invariant checker.
     pub oracle: InvariantOracle,
+    /// Capability-neutral protocol counters folded from the event stream.
+    pub proto: ProtocolMetrics,
     /// Sum of causal hop counts over all deliveries.
     pub hop_sum: u64,
     /// Deliveries carrying a nonzero hop count.
@@ -89,6 +94,7 @@ impl ChaosRecorder {
             recovery: RecoveryTracker::new(WINDOW),
             orphans: OrphanTracker::new(),
             oracle,
+            proto: ProtocolMetrics::default(),
             hop_sum: 0,
             hops: 0,
             pull_deliveries: 0,
@@ -104,6 +110,7 @@ impl ChaosRecorder {
 
 impl Recorder<GoCastEvent> for ChaosRecorder {
     fn record(&mut self, now: SimTime, node: NodeId, event: GoCastEvent) {
+        event.observe_into(&mut self.proto);
         if let GoCastEvent::Delivered { via, hop, .. } = &event {
             self.deliveries += 1;
             if *hop > 0 {
@@ -176,6 +183,8 @@ pub struct ChaosOutcome {
     pub event_deliveries: u64,
     /// Kernel counters at the end of the run.
     pub kernel: KernelStats,
+    /// Final combined metrics snapshot (kernel + protocol).
+    pub metrics: gocast_metrics::Snapshot,
 }
 
 impl ChaosOutcome {
@@ -271,20 +280,13 @@ impl ChaosOutcome {
         }
         let _ = write!(
             s,
-            " orphans={} mean={}ms max={}ms oracle={}/{} kernel[ev={} del={} drop={} part={} loss={} tmr={} cmd={} ctl={}]",
+            " orphans={} mean={}ms max={}ms oracle={}/{} {}",
             self.orphan_spells,
             self.orphan_mean.as_millis(),
             self.orphan_max.as_millis(),
             self.violations,
             self.oracle_records,
-            self.kernel.events_processed,
-            self.kernel.deliveries,
-            self.kernel.messages_dropped,
-            self.kernel.partition_drops,
-            self.kernel.chaos_losses,
-            self.kernel.timers_fired,
-            self.kernel.commands,
-            self.kernel.control_events,
+            kernel_digest(&self.kernel),
         );
         s
     }
@@ -392,13 +394,20 @@ where
     let net = build_network(opts);
     let groups: Vec<u32> = net.site_assignment().to_vec();
     let mut boot = bootstrap_random_graph(opts.nodes, links_per_node, opts.seed ^ 0xB007);
-    let mut sim =
-        SimBuilder::new(net)
-            .seed(opts.seed)
-            .build_with(ChaosRecorder::with_oracle(oracle), |id| {
-                let (links, members) = boot(id);
-                make(id, links, members)
-            });
+    let mut builder = SimBuilder::new(net).seed(opts.seed);
+    if opts.metrics_out.is_some() {
+        builder = builder.telemetry();
+    }
+    let mut stream = MetricsStream::for_opts(opts, None);
+    let mut sim = builder.build_with(ChaosRecorder::with_oracle(oracle), |id| {
+        let (links, members) = boot(id);
+        make(id, links, members)
+    });
+    let chaos_snapshot = |sim: &Sim<S, ChaosRecorder>| {
+        let mut snap = sim.metrics_snapshot();
+        sim.recorder().proto.snapshot_into(&mut snap);
+        snap
+    };
     sim.run_until(SimTime::ZERO + opts.warmup);
 
     let env = ScenarioEnv::new(opts.nodes, opts.seed)
@@ -435,6 +444,9 @@ where
         t = (t + SLICE).min(end);
         sim.run_until(t);
         samples.push((t, attached_fraction(&sim, &presence, t)));
+        if let Some(s) = &mut stream {
+            s.sample(t, &chaos_snapshot(&sim));
+        }
     }
 
     let final_now = sim.now();
@@ -507,6 +519,7 @@ where
         pull_deliveries: rec.pull_deliveries,
         event_deliveries: rec.deliveries,
         kernel: sim.kernel_stats(),
+        metrics: chaos_snapshot(&sim),
     }
 }
 
@@ -789,8 +802,9 @@ pub fn chaos(
             o.violations.to_string(),
         ]);
     }
+    let scenario_label = spec.unwrap_or(scenario_name);
     println!("{table}");
-    opts.write_csv("chaos", &table);
+    opts.write_csv_for_scenario("chaos", &table, Some(scenario_label));
 
     for o in &outcomes {
         for r in &o.repairs {
@@ -829,7 +843,7 @@ pub fn chaos(
             ]);
         }
         println!("{wins}");
-        opts.write_csv("chaos_windows", &wins);
+        opts.write_csv_for_scenario("chaos_windows", &wins, Some(scenario_label));
     }
 
     let worst = outcomes

@@ -10,11 +10,12 @@ use gocast_baselines::{
     prob_all_nodes_hear, prob_all_nodes_hear_all, PushGossipConfig, PushGossipNode,
 };
 use gocast_net::{AsTopology, LinkStress};
-use gocast_sim::{KernelStats, NodeId, SimBuilder, SimTime};
+use gocast_sim::{NodeId, SimBuilder, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::options::ExpOptions;
+use crate::report::log_kernel;
 use crate::runners::{
     build_gocast_sim, build_network, overlay_latency_breakdown, resilience_q, run_adaptation,
     run_delay, DelayStats, Proto,
@@ -29,12 +30,6 @@ const DELAY_PCTS: [(f64, &str); 6] = [
     (1.00, "max"),
     (-1.0, "mean"),
 ];
-
-/// Reports the kernel counters of a finished run on stderr, next to the
-/// progress lines — every experiment prints its event throughput.
-fn log_kernel(kernel: &KernelStats) {
-    eprintln!("    kernel: {kernel}");
-}
 
 fn delay_row(stats: &DelayStats) -> Vec<String> {
     let mut row = vec![stats.protocol.clone()];

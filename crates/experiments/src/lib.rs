@@ -21,10 +21,12 @@
 pub mod chaos;
 pub mod compare;
 pub mod figures;
+pub mod metrics_view;
 mod options;
+pub mod report;
 pub mod runners;
 pub mod sweep;
 pub mod testnet;
 
 pub use options::{ExpOptions, StackKind};
-pub use runners::{DelayStats, ExpRecorder, Proto};
+pub use runners::{DelayStats, ExpRecorder, MetricsStream, Proto};

@@ -30,15 +30,20 @@
 //! testnet sim-vs-wire conformance: the same workload through the
 //!         simulator and through real loopback-UDP nodes (wall-clock
 //!         defaults: 16 nodes, 200 messages; accepts --scenario/--spec)
+//! metrics instrumented quick run rendering every subsystem's telemetry
+//!         tables; `metrics --overhead` measures the instrumentation
+//!         cost and fails if it exceeds the 5% budget
 //! all     everything above at full scale
 //! ```
 //!
 //! Flags: `--quick` (reduced scale), `--nodes N`, `--seed S`,
 //! `--warmup SECS`, `--messages M`, `--rate R`, `--drain SECS`,
 //! `--out DIR`, `--no-csv`, `--trace-out PATH` (stream the causal JSONL
-//! trace of every run to PATH; any experiment accepts it), `--jobs N`
-//! (fan independent runs across N worker threads; output is byte-identical
-//! to the default fully serial `--jobs 1`).
+//! trace of every run to PATH; any experiment accepts it),
+//! `--metrics-out PATH` (stream periodic manifest-stamped telemetry
+//! snapshots of every run to PATH as JSONL; any experiment accepts it),
+//! `--jobs N` (fan independent runs across N worker threads; output is
+//! byte-identical to the default fully serial `--jobs 1`).
 //!
 //! `chaos`/`testnet`/`compare` flags: `--scenario NAME` (one of baseline,
 //! churn, catastrophe, partition, flashcrowd, lossy; default churn for
@@ -57,9 +62,9 @@ use gocast_experiments::{figures, ExpOptions, StackKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|compare|testnet|all> \
-         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--jobs N] \
-         [--scenario NAME] [--spec STR] [--seeds K] [--stack gocast|plumtree]"
+        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|compare|testnet|metrics|all> \
+         [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--metrics-out PATH] [--jobs N] \
+         [--scenario NAME] [--spec STR] [--seeds K] [--stack gocast|plumtree] [--overhead]"
     );
     std::process::exit(2);
 }
@@ -71,6 +76,7 @@ struct CliArgs {
     scenario: String,
     spec: Option<String>,
     seeds: u64,
+    overhead: bool,
 }
 
 fn parse_opts(args: &[String]) -> CliArgs {
@@ -78,6 +84,7 @@ fn parse_opts(args: &[String]) -> CliArgs {
     let mut scenario = String::from("churn");
     let mut spec = None;
     let mut seeds = 1u64;
+    let mut overhead = false;
     let mut explicit_nodes = None;
     let mut explicit_jobs = None;
     let mut i = 0;
@@ -113,6 +120,8 @@ fn parse_opts(args: &[String]) -> CliArgs {
             "--out" => opts.out_dir = Some(take("--out").into()),
             "--no-csv" => opts.out_dir = None,
             "--trace-out" => opts.trace_out = Some(take("--trace-out").into()),
+            "--metrics-out" => opts.metrics_out = Some(take("--metrics-out").into()),
+            "--overhead" => overhead = true,
             "--jobs" => explicit_jobs = Some(take("--jobs").parse().expect("--jobs")),
             "--scenario" => scenario = take("--scenario"),
             "--spec" => spec = Some(take("--spec")),
@@ -147,6 +156,7 @@ fn parse_opts(args: &[String]) -> CliArgs {
         scenario,
         spec,
         seeds,
+        overhead,
     }
 }
 
@@ -232,7 +242,10 @@ fn main() {
                     gocast_experiments::Proto::GoCast(Default::default()),
                     0.0,
                 );
-                eprintln!("    kernel[GoCast seed {}]: {}", o.seed, s.kernel);
+                gocast_experiments::report::log_kernel_tagged(
+                    &format!("GoCast seed {}", o.seed),
+                    &s.kernel,
+                );
                 s.per_node_avg.mean().as_secs_f64()
             });
             let gs = gocast_experiments::sweep::sweep_seeds(&opts, seeds, |o| {
@@ -241,7 +254,10 @@ fn main() {
                     gocast_experiments::Proto::PushGossip(Default::default()),
                     0.0,
                 );
-                eprintln!("    kernel[gossip seed {}]: {}", o.seed, s.kernel);
+                gocast_experiments::report::log_kernel_tagged(
+                    &format!("gossip seed {}", o.seed),
+                    &s.kernel,
+                );
                 s.per_node_avg.mean().as_secs_f64()
             });
             println!("GoCast mean delay (s): {go}");
@@ -288,6 +304,17 @@ fn main() {
             if violations > 0 {
                 eprintln!("done in {:?}", t0.elapsed());
                 std::process::exit(1);
+            }
+        }
+        "metrics" => {
+            let code = if cli.overhead {
+                gocast_experiments::metrics_view::overhead(&opts)
+            } else {
+                gocast_experiments::metrics_view::metrics(&opts)
+            };
+            if code != 0 {
+                eprintln!("done in {:?}", t0.elapsed());
+                std::process::exit(code);
             }
         }
         "testnet" => {

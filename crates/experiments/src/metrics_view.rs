@@ -1,0 +1,207 @@
+//! The `metrics` subcommand: run a fully instrumented quick-scale
+//! simulation (and, when loopback is available, a small wire fabric) and
+//! render every subsystem's metric tables — the one-stop view of what
+//! the telemetry registry collects.
+//!
+//! `metrics --overhead` instead measures what the instrumentation costs:
+//! the same steady-state workload runs with telemetry off and on, and
+//! the run fails (exit 1) if the instrumented kernel processes events
+//! more than [`MAX_OVERHEAD`] slower — the budget DESIGN.md promises.
+
+use std::time::{Duration, Instant};
+
+use gocast::{GoCastCommand, GoCastConfig};
+use gocast_sim::SimTime;
+use gocast_testnet::{loopback_available, Testnet, TestnetConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::options::ExpOptions;
+use crate::report::print_snapshot;
+use crate::runners::{build_gocast_sim, combined_snapshot};
+
+/// Telemetry may slow steady-state event processing by at most this
+/// fraction (5%).
+pub const MAX_OVERHEAD: f64 = 0.05;
+
+/// Trial pairs in the overhead measurement. Single containers show
+/// ±10% sub-second throughput drift (CPU steal), far above the effect
+/// being measured, so naive A-then-B timing is hopeless. Instead each
+/// pair runs both modes back to back — sharing whatever noise regime the
+/// container is in — in alternating order (to cancel any first-run
+/// bias), and the overhead is the *median* of the per-pair ratios,
+/// which discards pairs a noise spike landed inside.
+const PAIRS: usize = 7;
+
+/// Scales simulation-sized defaults down to a seconds-long run, keeping
+/// any explicitly set flag (the same defaulting rule `testnet` uses).
+fn resolve_scale(opts: &ExpOptions) -> ExpOptions {
+    let d = ExpOptions::default();
+    let mut o = opts.clone();
+    if o.nodes == d.nodes {
+        o.nodes = 128;
+        o.sites = 256;
+    }
+    if o.warmup == d.warmup {
+        o.warmup = Duration::from_secs(60);
+    }
+    if o.messages == d.messages {
+        o.messages = 50;
+    }
+    if o.rate == d.rate {
+        o.rate = 25.0;
+    }
+    if o.drain == d.drain {
+        o.drain = Duration::from_secs(10);
+    }
+    o
+}
+
+/// Runs a GoCast dissemination workload with kernel telemetry enabled
+/// and returns the final combined snapshot.
+fn instrumented_run(o: &ExpOptions) -> gocast_metrics::Snapshot {
+    let mut sim = build_gocast_sim(o, &GoCastConfig::default(), false);
+    sim.enable_telemetry();
+    sim.run_until(SimTime::ZERO + o.warmup);
+    let start = sim.now() + Duration::from_millis(100);
+    let mut rng = SmallRng::seed_from_u64(o.seed ^ 0x5EED);
+    let live: Vec<_> = sim.alive_nodes().collect();
+    for i in 0..o.messages {
+        let at = start + Duration::from_secs_f64(f64::from(i) / o.rate);
+        sim.schedule_command(
+            at,
+            live[rng.gen_range(0..live.len())],
+            GoCastCommand::Multicast,
+        );
+    }
+    sim.run_until(start + o.inject_duration() + o.drain);
+    combined_snapshot(&sim)
+}
+
+/// The `metrics` subcommand body. Returns the process exit code.
+pub fn metrics(opts: &ExpOptions) -> i32 {
+    let o = resolve_scale(opts);
+    eprintln!(
+        "metrics: instrumented GoCast run, {} nodes, {} messages, seed {} ...",
+        o.nodes, o.messages, o.seed
+    );
+    let snap = instrumented_run(&o);
+    print_snapshot("simulation", &snap);
+
+    if loopback_available() {
+        eprintln!("metrics: wire fabric, 8 nodes, 2 s ...");
+        let cfg = TestnetConfig::new(8).with_seed(o.seed);
+        match Testnet::build_bootstrap(&cfg) {
+            Ok(mut net) => {
+                for k in 0..4u32 {
+                    net.schedule_command(
+                        SimTime::from_millis(500 + u64::from(k) * 250),
+                        gocast_sim::NodeId::new(k % 8),
+                        GoCastCommand::Multicast,
+                    );
+                }
+                net.run_for(Duration::from_secs(2));
+                print_snapshot("wire fabric", &net.metrics_snapshot());
+            }
+            Err(e) => eprintln!("metrics: fabric unavailable: {e}"),
+        }
+    } else {
+        eprintln!("metrics: loopback UDP unavailable; skipping the wire fabric view");
+    }
+    0
+}
+
+/// Steady-state kernel throughput (events per wall-clock second) of a
+/// warmed-up simulation, with or without telemetry.
+fn steady_events_per_sec(o: &ExpOptions, telemetry: bool) -> f64 {
+    let mut sim = build_gocast_sim(o, &GoCastConfig::default(), false);
+    if telemetry {
+        sim.enable_telemetry();
+    }
+    sim.run_until(SimTime::from_secs(30));
+    let measured_secs = 480u64;
+    let before = sim.kernel_stats().events_processed;
+    let t0 = Instant::now();
+    sim.run_until(SimTime::from_secs(30 + measured_secs));
+    let wall = t0.elapsed().as_secs_f64();
+    (sim.kernel_stats().events_processed - before) as f64 / wall
+}
+
+/// The `metrics --overhead` gate. Returns the process exit code.
+pub fn overhead(opts: &ExpOptions) -> i32 {
+    let o = resolve_scale(opts);
+    eprintln!(
+        "metrics --overhead: {} nodes, median over {PAIRS} interleaved pairs ...",
+        o.nodes
+    );
+    let mut off = 0.0f64;
+    let mut on = 0.0f64;
+    let mut ratios = Vec::with_capacity(PAIRS);
+    for k in 0..PAIRS {
+        let (first, second) = if k % 2 == 0 {
+            let a = steady_events_per_sec(&o, false);
+            (a, steady_events_per_sec(&o, true))
+        } else {
+            let b = steady_events_per_sec(&o, true);
+            (steady_events_per_sec(&o, false), b)
+        };
+        off = off.max(first);
+        on = on.max(second);
+        ratios.push(second / first);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let overhead = 1.0 - ratios[PAIRS / 2];
+    println!("telemetry off: {off:>12.0} events/s (best trial)");
+    println!("telemetry on:  {on:>12.0} events/s (best trial)");
+    println!(
+        "overhead:      {:>11.2}% (budget {:.0}%)",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    if overhead > MAX_OVERHEAD {
+        eprintln!(
+            "metrics --overhead: telemetry costs {:.2}%, over the {:.0}% budget",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        );
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_scale_keeps_explicit_flags() {
+        let o = resolve_scale(&ExpOptions::default());
+        assert_eq!(o.nodes, 128);
+        assert_eq!(o.warmup, Duration::from_secs(60));
+        let explicit = ExpOptions {
+            nodes: 64,
+            ..ExpOptions::default()
+        };
+        assert_eq!(resolve_scale(&explicit).nodes, 64);
+    }
+
+    #[test]
+    fn instrumented_run_reports_every_subsystem() {
+        let mut o = resolve_scale(&ExpOptions::quick());
+        o.nodes = 32;
+        o.sites = 32;
+        o.warmup = Duration::from_secs(10);
+        o.messages = 4;
+        o.rate = 4.0;
+        o.drain = Duration::from_secs(5);
+        let snap = instrumented_run(&o);
+        let names: Vec<&str> = snap.entries().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"kernel_events"));
+        assert!(
+            names.contains(&"kernel_queue_depth"),
+            "telemetry histograms on"
+        );
+        assert!(names.contains(&"proto_deliveries"));
+    }
+}

@@ -66,6 +66,10 @@ pub struct ExpOptions {
     /// When several runs happen in one process, the second and later
     /// traces go to `<stem>.<k>.<ext>` so no run clobbers another.
     pub trace_out: Option<PathBuf>,
+    /// Where to stream periodic metrics snapshots as JSONL (`None` =
+    /// metrics streaming off). Like traces, later runs in one process go
+    /// to `<stem>.<k>.<ext>`.
+    pub metrics_out: Option<PathBuf>,
     /// Worker threads for multi-run experiments (`--jobs N`).
     ///
     /// Each simulation run is still single-threaded and seeded, so results
@@ -88,6 +92,7 @@ impl Default for ExpOptions {
             drain: Duration::from_secs(40),
             out_dir: Some(PathBuf::from("results")),
             trace_out: None,
+            metrics_out: None,
             jobs: 1,
             stack: StackKind::GoCast,
         }
@@ -110,6 +115,7 @@ impl ExpOptions {
             drain: Duration::from_secs(30),
             out_dir: None,
             trace_out: None,
+            metrics_out: None,
             jobs: 1,
             stack: StackKind::GoCast,
         }
@@ -141,11 +147,11 @@ impl ExpOptions {
 
     /// The job count multi-run experiments should actually use.
     ///
-    /// Tracing numbers its per-run output files in run-start order, so a
-    /// traced invocation is forced serial to keep file naming (and any
-    /// interleaving of trace streams) deterministic.
+    /// Tracing and metrics streaming number their per-run output files in
+    /// run-start order, so either one forces the invocation serial to
+    /// keep file naming (and any interleaving of streams) deterministic.
     pub fn effective_jobs(&self) -> usize {
-        if self.trace_out.is_some() {
+        if self.trace_out.is_some() || self.metrics_out.is_some() {
             1
         } else {
             self.jobs.max(1)
@@ -157,11 +163,39 @@ impl ExpOptions {
         Duration::from_secs_f64(self.messages as f64 / self.rate)
     }
 
-    /// Writes `table` as `<name>.csv` under `out_dir`, if set.
+    /// The provenance manifest stamped on every artifact this option set
+    /// produces. `scenario` names the fault scenario, when one applies.
+    pub fn manifest(&self, scenario: Option<&str>) -> gocast_metrics::RunManifest {
+        gocast_metrics::RunManifest {
+            git_sha: gocast_metrics::RunManifest::detect_git_sha().to_string(),
+            host: gocast_metrics::RunManifest::detect_host().to_string(),
+            stack: self.stack.name().to_string(),
+            seed: self.seed,
+            nodes: self.nodes,
+            messages: self.messages,
+            rate: self.rate,
+            scenario: scenario.map(str::to_string),
+        }
+    }
+
+    /// Writes `table` as `<name>.csv` under `out_dir`, if set, headed by
+    /// the run-provenance manifest comment.
     pub fn write_csv(&self, name: &str, table: &gocast_analysis::Table) {
+        self.write_csv_for_scenario(name, table, None);
+    }
+
+    /// [`ExpOptions::write_csv`] with the scenario recorded in the
+    /// manifest comment.
+    pub fn write_csv_for_scenario(
+        &self,
+        name: &str,
+        table: &gocast_analysis::Table,
+        scenario: Option<&str>,
+    ) {
         if let Some(dir) = &self.out_dir {
             let path = dir.join(format!("{name}.csv"));
-            if let Err(e) = table.write_csv(&path) {
+            let comment = self.manifest(scenario).csv_comment();
+            if let Err(e) = table.write_csv_with_comment(&path, Some(&comment)) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
@@ -200,7 +234,24 @@ mod tests {
         let mut traced = o.clone();
         traced.trace_out = Some(PathBuf::from("t.jsonl"));
         assert_eq!(traced.effective_jobs(), 1, "tracing forces serial");
+        let mut streamed = o.clone();
+        streamed.metrics_out = Some(PathBuf::from("m.jsonl"));
+        assert_eq!(
+            streamed.effective_jobs(),
+            1,
+            "metrics streaming forces serial"
+        );
         assert_eq!(ExpOptions::default().with_jobs(0).jobs, 1, "clamped");
+    }
+
+    #[test]
+    fn manifest_reflects_options_and_scenario() {
+        let m = ExpOptions::quick().manifest(Some("churn"));
+        assert_eq!(m.stack, "gocast");
+        assert_eq!(m.seed, 42);
+        assert_eq!(m.nodes, 128);
+        assert_eq!(m.scenario.as_deref(), Some("churn"));
+        assert!(m.csv_comment().starts_with("# gocast-run git="));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::time::Duration;
 use gocast::{snapshot, GoCastConfig, GoCastEvent, GoCastNode, LinkKind, Snapshot};
 use gocast_analysis::{Cdf, DelayHistogram, Histogram, MetricsRecorder};
 use gocast_baselines::{PushGossipConfig, PushGossipNode};
+use gocast_metrics::ProtocolMetrics;
 use gocast_net::{synthetic_king, SiteLatencyMatrix, SyntheticKingConfig};
 use gocast_sim::{KernelStats, NodeId, Recorder, Sim, SimBuilder, SimTime, Stack, TraceRecorder};
 use rand::rngs::SmallRng;
@@ -20,6 +21,8 @@ use crate::options::{ExpOptions, StackKind};
 /// Distinguishes traces when one process runs several simulations (e.g.
 /// `fig3a` runs five protocols): run `k > 0` writes `<stem>.<k>.<ext>`.
 static TRACE_RUN: AtomicU32 = AtomicU32::new(0);
+/// Same numbering, independently, for `--metrics-out` JSONL streams.
+static METRICS_RUN: AtomicU32 = AtomicU32::new(0);
 
 fn numbered_trace_path(path: &Path, k: u32) -> PathBuf {
     if k == 0 {
@@ -42,7 +45,20 @@ fn numbered_trace_path(path: &Path, k: u32) -> PathBuf {
 #[derive(Debug, Default)]
 pub struct ExpRecorder {
     metrics: MetricsRecorder,
+    proto: ProtocolMetrics,
     trace: Option<TraceRecorder<io::BufWriter<File>>>,
+}
+
+/// Opens a manifest-stamped JSONL sink: the provenance line goes in
+/// first, then the `TraceRecorder` takes over the stream.
+fn open_stamped_jsonl(
+    path: &Path,
+    manifest: &gocast_metrics::RunManifest,
+) -> io::Result<TraceRecorder<io::BufWriter<File>>> {
+    use io::Write as _;
+    let mut file = io::BufWriter::new(File::create(path)?);
+    writeln!(file, "{}", manifest.json_line())?;
+    Ok(TraceRecorder::new(file))
 }
 
 impl ExpRecorder {
@@ -56,7 +72,7 @@ impl ExpRecorder {
     pub fn for_opts(opts: &ExpOptions) -> Self {
         let trace = opts.trace_out.as_ref().and_then(|base| {
             let path = numbered_trace_path(base, TRACE_RUN.fetch_add(1, Ordering::Relaxed));
-            match TraceRecorder::create(&path) {
+            match open_stamped_jsonl(&path, &opts.manifest(None)) {
                 Ok(rec) => {
                     eprintln!("tracing to {}", path.display());
                     // GoCast traces keep the historic untagged schema
@@ -75,6 +91,7 @@ impl ExpRecorder {
         });
         ExpRecorder {
             metrics: MetricsRecorder::new(),
+            proto: ProtocolMetrics::default(),
             trace,
         }
     }
@@ -82,6 +99,12 @@ impl ExpRecorder {
     /// Lines written to the trace so far (`None` when tracing is off).
     pub fn trace_lines(&self) -> Option<u64> {
         self.trace.as_ref().map(|t| t.lines())
+    }
+
+    /// The capability-neutral protocol counters folded from every event
+    /// this recorder saw (pushes, IHAVEs, pulls, redundant drops, ...).
+    pub fn protocol_metrics(&self) -> &ProtocolMetrics {
+        &self.proto
     }
 }
 
@@ -95,10 +118,75 @@ impl Deref for ExpRecorder {
 
 impl Recorder<GoCastEvent> for ExpRecorder {
     fn record(&mut self, now: SimTime, node: NodeId, event: GoCastEvent) {
+        event.observe_into(&mut self.proto);
         if let Some(trace) = &mut self.trace {
             trace.record(now, node, event.clone());
         }
         self.metrics.record(now, node, event);
+    }
+}
+
+/// A `--metrics-out` JSONL stream: one manifest line, then one
+/// `"ev":"metrics"` snapshot line per sample, all deterministic fields
+/// only — byte-identical at any `--jobs` (streaming forces serial runs,
+/// and wall-clock metric entries are excluded by the snapshot encoder).
+#[derive(Debug)]
+pub struct MetricsStream {
+    rec: TraceRecorder<io::BufWriter<File>>,
+}
+
+impl MetricsStream {
+    /// Opens the stream named by `opts.metrics_out`, if set. Later runs
+    /// in one process get numbered files, mirroring trace output. An
+    /// open failure warns and disables streaming for the run.
+    pub fn for_opts(opts: &ExpOptions, scenario: Option<&str>) -> Option<MetricsStream> {
+        let base = opts.metrics_out.as_ref()?;
+        let path = numbered_trace_path(base, METRICS_RUN.fetch_add(1, Ordering::Relaxed));
+        match open_stamped_jsonl(&path, &opts.manifest(scenario)) {
+            Ok(rec) => {
+                eprintln!("metrics to {}", path.display());
+                Some(MetricsStream { rec })
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open metrics {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Appends one snapshot line stamped with simulation time `now`.
+    pub fn sample(&mut self, now: SimTime, snap: &gocast_metrics::Snapshot) {
+        self.rec.record(now, NodeId::new(0), snap.clone());
+    }
+}
+
+/// One combined snapshot of everything the simulation knows: kernel
+/// counters/telemetry plus the recorder's protocol metrics.
+pub fn combined_snapshot<P>(sim: &Sim<P, ExpRecorder>) -> gocast_metrics::Snapshot
+where
+    P: Stack<Event = GoCastEvent>,
+{
+    let mut snap = sim.metrics_snapshot();
+    sim.recorder().protocol_metrics().snapshot_into(&mut snap);
+    snap
+}
+
+/// Advances the simulation to `until`; with a metrics stream attached,
+/// steps in one-second slices and samples a combined snapshot after each.
+fn run_sampled<P>(sim: &mut Sim<P, ExpRecorder>, until: SimTime, stream: &mut Option<MetricsStream>)
+where
+    P: Stack<Event = GoCastEvent>,
+{
+    match stream {
+        None => sim.run_until(until),
+        Some(s) => {
+            let mut t = sim.now();
+            while t < until {
+                t = (t + Duration::from_secs(1)).min(until);
+                sim.run_until(t);
+                s.sample(t, &combined_snapshot(sim));
+            }
+        }
     }
 }
 
@@ -148,6 +236,8 @@ pub struct DelayStats {
     /// Kernel counters snapshotted at the end of the run (events
     /// processed, drops, queue high-water, events/sec).
     pub kernel: KernelStats,
+    /// Final combined metrics snapshot (kernel + protocol).
+    pub metrics: gocast_metrics::Snapshot,
 }
 
 /// The synthetic-King network for a given option set.
@@ -207,6 +297,7 @@ where
         tree_fraction: rec.tree_fraction(),
         pulls: rec.pulls(),
         kernel: sim.kernel_stats(),
+        metrics: combined_snapshot(sim),
     }
 }
 
@@ -223,6 +314,9 @@ pub fn build_gocast_sim(
     if track_pairs {
         builder = builder.track_pair_counts();
     }
+    if opts.metrics_out.is_some() {
+        builder = builder.telemetry();
+    }
     builder.build_with(ExpRecorder::for_opts(opts), |id| {
         let (links, members) = boot(id);
         GoCastNode::with_initial_links(id, cfg.clone(), links, members)
@@ -234,29 +328,40 @@ pub fn build_gocast_sim(
 /// workload, drain, and aggregate.
 pub fn run_delay(opts: &ExpOptions, proto: Proto, fail_frac: f64) -> DelayStats {
     let label = proto.label();
+    let mut stream = MetricsStream::for_opts(opts, None);
     match proto {
         Proto::GoCast(cfg) => {
             let mut sim = build_gocast_sim(opts, &cfg, false);
-            sim.run_until(SimTime::ZERO + opts.warmup);
+            run_sampled(&mut sim, SimTime::ZERO + opts.warmup, &mut stream);
             apply_failures_and_freeze(&mut sim, opts, fail_frac, true);
             let start = sim.now() + Duration::from_millis(100);
             schedule_injections(&mut sim, opts, start);
-            sim.run_until(start + opts.inject_duration() + opts.drain);
+            run_sampled(
+                &mut sim,
+                start + opts.inject_duration() + opts.drain,
+                &mut stream,
+            );
             collect_delay_stats(&sim, opts, label)
         }
         Proto::PushGossip(cfg) => {
             let net = build_network(opts);
-            let mut sim = SimBuilder::new(net)
-                .seed(opts.seed)
-                .build_with(ExpRecorder::for_opts(opts), |id| {
-                    PushGossipNode::new(id, cfg.clone())
-                });
+            let mut builder = SimBuilder::new(net).seed(opts.seed);
+            if opts.metrics_out.is_some() {
+                builder = builder.telemetry();
+            }
+            let mut sim = builder.build_with(ExpRecorder::for_opts(opts), |id| {
+                PushGossipNode::new(id, cfg.clone())
+            });
             // No overlay to warm up: full membership is assumed.
-            sim.run_until(SimTime::from_secs(2));
+            run_sampled(&mut sim, SimTime::from_secs(2), &mut stream);
             apply_failures_and_freeze(&mut sim, opts, fail_frac, false);
             let start = sim.now() + Duration::from_millis(100);
             schedule_injections(&mut sim, opts, start);
-            sim.run_until(start + opts.inject_duration() + opts.drain);
+            run_sampled(
+                &mut sim,
+                start + opts.inject_duration() + opts.drain,
+                &mut stream,
+            );
             collect_delay_stats(&sim, opts, label)
         }
     }
@@ -306,6 +411,8 @@ pub struct AdaptationResult {
     pub mean_degree: f64,
     /// Kernel counters snapshotted at the end of the run.
     pub kernel: KernelStats,
+    /// Final combined metrics snapshot (kernel + protocol).
+    pub metrics: gocast_metrics::Snapshot,
 }
 
 /// Runs the paper's adaptation experiment: all nodes boot simultaneously
@@ -318,6 +425,7 @@ pub fn run_adaptation(
     latency_secs: u64,
 ) -> AdaptationResult {
     let mut sim = build_gocast_sim(opts, cfg, false);
+    let mut stream = MetricsStream::for_opts(opts, None);
     let end = opts
         .warmup
         .as_secs()
@@ -327,6 +435,9 @@ pub fn run_adaptation(
     let mut latency_series = Vec::new();
     for sec in 0..=end {
         sim.run_until(SimTime::from_secs(sec));
+        if let Some(s) = &mut stream {
+            s.sample(SimTime::from_secs(sec), &combined_snapshot(&sim));
+        }
         if snap_times.contains(&sec) {
             let snap = snapshot(&sim);
             degree_hists.push((sec, Histogram::from_values(snap.degrees())));
@@ -355,6 +466,7 @@ pub fn run_adaptation(
         final_snapshot,
         mean_degree,
         kernel: sim.kernel_stats(),
+        metrics: combined_snapshot(&sim),
     }
 }
 
@@ -407,6 +519,7 @@ mod tests {
             drain: Duration::from_secs(20),
             out_dir: None,
             trace_out: None,
+            metrics_out: None,
             jobs: 1,
             stack: StackKind::GoCast,
         }
@@ -451,6 +564,21 @@ mod tests {
         assert_eq!(stats.incomplete_nodes, 0, "no failures, no misses");
         assert!(stats.per_node_avg.mean() < Duration::from_secs(1));
         assert!(stats.tree_fraction > 0.8);
+        let counter = |name: &str| {
+            stats
+                .metrics
+                .entries()
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| match e.value {
+                    gocast_metrics::MetricValue::Counter(v) => v,
+                    _ => panic!("{name} is not a counter"),
+                })
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(counter("proto_injected"), 5);
+        assert_eq!(counter("proto_deliveries"), 5 * 47);
+        assert_eq!(counter("kernel_events"), stats.kernel.events_processed);
     }
 
     #[test]

@@ -114,6 +114,16 @@ pub fn testnet(opts: &ExpOptions, scenario: &str, spec: Option<&str>) -> i32 {
         }
     };
     print!("{}", report.render());
+    if let Some(snap) = &report.wire.wire_metrics {
+        crate::report::print_snapshot("wire metrics", snap);
+        // `--metrics-out` on testnet captures the wire-side fabric
+        // snapshot (manifest-stamped, one line) for offline comparison.
+        let label = spec.unwrap_or(scenario);
+        if let Some(mut stream) = crate::runners::MetricsStream::for_opts(opts, Some(label)) {
+            let at = gocast_sim::SimTime::from_nanos(conf.total().as_nanos() as u64);
+            stream.sample(at, snap);
+        }
+    }
     let failures = report.failures();
     if failures.is_empty() {
         println!("conformance: PASS");

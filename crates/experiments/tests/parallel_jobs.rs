@@ -45,3 +45,62 @@ fn jobs_do_not_change_csv_output() {
 
     let _ = fs::remove_dir_all(&base);
 }
+
+#[test]
+fn jobs_do_not_change_metrics_jsonl() {
+    let base = std::env::temp_dir().join(format!("gocast_metrics_identity_{}", std::process::id()));
+    let serial_dir = base.join("serial");
+    let parallel_dir = base.join("parallel");
+    fs::create_dir_all(&serial_dir).unwrap();
+    fs::create_dir_all(&parallel_dir).unwrap();
+
+    // `--metrics-out` forces effective serial execution, so the periodic
+    // telemetry stream must be byte-identical whatever --jobs asked for.
+    let opts = |dir: &PathBuf, jobs: usize| {
+        let mut o = tiny(dir.clone(), jobs);
+        o.out_dir = None;
+        o.metrics_out = Some(dir.join("metrics.jsonl"));
+        o
+    };
+    figures::fig3(&opts(&serial_dir, 1), 0.0);
+    figures::fig3(&opts(&parallel_dir, 4), 0.0);
+
+    // The stream files are numbered by a process-wide run counter, so the
+    // two directories get different run numbers; what must match is the
+    // k-th stream of one run against the k-th stream of the other.
+    // `--metrics-out` forces serial execution, so creation order is the
+    // protocol-variant order on both sides.
+    let streams = |dir: &PathBuf| -> Vec<Vec<u8>> {
+        let mut named: Vec<(u32, Vec<u8>)> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                let name = e.file_name().into_string().unwrap();
+                let run: u32 = name
+                    .trim_start_matches("metrics.")
+                    .trim_end_matches("jsonl")
+                    .trim_end_matches('.')
+                    .parse()
+                    .unwrap_or(0);
+                (run, fs::read(e.path()).unwrap())
+            })
+            .collect();
+        named.sort_by_key(|(run, _)| *run);
+        named.into_iter().map(|(_, bytes)| bytes).collect()
+    };
+    let serial = streams(&serial_dir);
+    let parallel = streams(&parallel_dir);
+    // fig3 runs five protocol variants → five streams per run.
+    assert_eq!(serial.len(), 5, "expected one stream per protocol variant");
+    assert_eq!(serial.len(), parallel.len());
+    for (k, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert!(!s.is_empty(), "stream {k} empty");
+        assert!(
+            s.starts_with(b"{\"manifest\":1,"),
+            "stream {k} must start with the run-manifest header"
+        );
+        assert_eq!(s, p, "stream {k} differs between --jobs 1 and 4");
+    }
+
+    let _ = fs::remove_dir_all(&base);
+}

@@ -1,0 +1,638 @@
+//! # gocast-metrics — zero-steady-state-allocation runtime telemetry
+//!
+//! The live counterpart of the offline analysis crates: where
+//! `gocast-analysis` folds recorded event streams *after* a run, this
+//! crate instruments the runtime itself — the simulation kernel, the
+//! protocol stacks, and the loopback-UDP fabric — while it executes.
+//!
+//! Three primitives, all plain-old-data with `&mut self` update paths:
+//!
+//! - [`Counter`] — a monotonic `u64`;
+//! - [`Gauge`] — a signed level with a high-water mark;
+//! - [`Log2Histogram`] — a fixed-bucket power-of-two histogram
+//!   (bucket *i* ≥ 1 holds values in `[2^(i-1), 2^i)`, bucket 0 holds
+//!   exactly zero, the top bucket saturates).
+//!
+//! None of them allocate, lock, or hash — ever. Updating a metric is an
+//! array index plus an integer add, so the hot paths of a simulation
+//! processing millions of events per second can stay instrumented
+//! permanently (the kernel's `zero_alloc` test asserts the claim).
+//!
+//! A [`Snapshot`] is taken on demand: it copies current values into an
+//! ordered list of named entries that can be rendered as a table or
+//! streamed as one JSON object per sample. Entries carry a
+//! *wall-clock* flag: values derived from `Instant` readings (dispatch
+//! timings) vary run to run, so [`Snapshot::write_json_fields`] can
+//! exclude them — keeping JSONL time-series byte-identical for a given
+//! seed at any `--jobs` count.
+//!
+//! ```
+//! use gocast_metrics::{Log2Histogram, Snapshot};
+//!
+//! let mut h = Log2Histogram::new();
+//! for v in [0, 1, 2, 3, 4, 1000] {
+//!     h.observe(v);
+//! }
+//! assert_eq!(h.count(), 6);
+//! assert_eq!(h.max(), 1000);
+//!
+//! let mut snap = Snapshot::new();
+//! snap.record_histogram("latency", &h);
+//! let mut line = String::new();
+//! snap.write_json_fields(&mut line, true);
+//! assert!(line.starts_with("\"latency\":{\"count\":6,"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod manifest;
+
+pub use manifest::RunManifest;
+
+/// A monotonic event counter.
+///
+/// ```
+/// use gocast_metrics::Counter;
+///
+/// let mut c = Counter::default();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A signed level with a high-water mark.
+///
+/// ```
+/// use gocast_metrics::Gauge;
+///
+/// let mut g = Gauge::default();
+/// g.set(7);
+/// g.set(3);
+/// assert_eq!(g.get(), 3);
+/// assert_eq!(g.high_water(), 7);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+    high_water: i64,
+}
+
+impl Gauge {
+    /// Sets the current level, updating the high-water mark.
+    #[inline]
+    pub fn set(&mut self, v: i64) {
+        self.value = v;
+        if v > self.high_water {
+            self.high_water = v;
+        }
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value
+    }
+
+    /// Highest level ever set.
+    #[inline]
+    pub fn high_water(&self) -> i64 {
+        self.high_water
+    }
+}
+
+/// Number of buckets in a [`Log2Histogram`]: bucket 0 plus one bucket per
+/// power of two up to `2^(BUCKETS-2)`; the last bucket saturates.
+pub const BUCKETS: usize = 44;
+
+/// A fixed-bucket power-of-two histogram.
+///
+/// Bucket 0 counts exact zeros; bucket `i >= 1` counts values in
+/// `[2^(i-1), 2^i)`; the top bucket absorbs everything at or above
+/// `2^(BUCKETS-2)`. With [`BUCKETS`] = 44 the top bucket starts at
+/// `2^42` ≈ 4.4 × 10¹² — over an hour in nanoseconds — so saturation is
+/// a pathology signal, not an expected state.
+///
+/// `observe` is an integer log2 (one `leading_zeros`) plus three adds:
+/// no allocation, no branching on magnitude, suitable for paths running
+/// millions of times per second.
+///
+/// ```
+/// use gocast_metrics::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// h.observe(0); // bucket 0
+/// h.observe(1); // bucket 1: [1, 2)
+/// h.observe(7); // bucket 3: [4, 8)
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.bucket_count(3), 1);
+/// assert_eq!(Log2Histogram::bucket_bounds(3), (4, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `v` falls into.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        // Bit length: 0 for 0, k for 2^(k-1) <= v < 2^k; saturate at top.
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `i`. The top
+    /// bucket's `hi` is `u64::MAX` (it saturates).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            (0, 1)
+        } else if i == BUCKETS - 1 {
+            (1u64 << (i - 1), u64::MAX)
+        } else {
+            (1u64 << (i - 1), 1u64 << i)
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket, in order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (`0.0..=1.0`) —
+    /// a conservative streaming quantile at power-of-two resolution.
+    /// Returns 0 when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= target.max(1) {
+                let (_, hi) = Self::bucket_bounds(i);
+                return hi.saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+/// Per-message protocol dissemination counters, capability-neutral: each
+/// field maps to an event every stack (GoCast, Plumtree, the gossip
+/// baselines) already emits, so the same struct instruments all of them.
+/// Stacks without a capability simply leave its counter at zero.
+///
+/// ```
+/// use gocast_metrics::{ProtocolMetrics, Snapshot};
+///
+/// let mut m = ProtocolMetrics::default();
+/// m.pushes.inc();
+/// m.deliveries.inc();
+/// let mut s = Snapshot::new();
+/// m.snapshot_into(&mut s);
+/// let mut out = String::new();
+/// s.write_json_fields(&mut out, true);
+/// assert!(out.contains("\"proto_pushes\":1"));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolMetrics {
+    /// Multicasts injected by the application.
+    pub injected: Counter,
+    /// First receptions delivered to the application.
+    pub deliveries: Counter,
+    /// Full payloads pushed to tree/eager neighbors.
+    pub pushes: Counter,
+    /// Message ids advertised in gossip/IHAVE digests (one per id entry).
+    pub ihaves: Counter,
+    /// Pull/graft requests issued for missing payloads.
+    pub pull_requests: Counter,
+    /// Pull/graft requests answered with the payload.
+    pub pulls_served: Counter,
+    /// Redundant payload receptions discarded as duplicates.
+    pub redundant_drops: Counter,
+}
+
+impl ProtocolMetrics {
+    /// Appends this struct's counters to `snap` under stable
+    /// `proto_*` names.
+    pub fn snapshot_into(&self, snap: &mut Snapshot) {
+        snap.record_counter("proto_injected", self.injected.get());
+        snap.record_counter("proto_deliveries", self.deliveries.get());
+        snap.record_counter("proto_pushes", self.pushes.get());
+        snap.record_counter("proto_ihaves", self.ihaves.get());
+        snap.record_counter("proto_pull_requests", self.pull_requests.get());
+        snap.record_counter("proto_pulls_served", self.pulls_served.get());
+        snap.record_counter("proto_redundant_drops", self.redundant_drops.get());
+    }
+
+    /// Adds another instance's counts into this one.
+    pub fn merge(&mut self, other: &ProtocolMetrics) {
+        self.injected.add(other.injected.get());
+        self.deliveries.add(other.deliveries.get());
+        self.pushes.add(other.pushes.get());
+        self.ihaves.add(other.ihaves.get());
+        self.pull_requests.add(other.pull_requests.get());
+        self.pulls_served.add(other.pulls_served.get());
+        self.redundant_drops.add(other.redundant_drops.get());
+    }
+}
+
+/// A point-in-time copy of a histogram, detached from its fixed buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `(bucket index, count)` for non-empty buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// One snapshotted metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter reading.
+    Counter(u64),
+    /// A gauge reading with its high-water mark.
+    Gauge {
+        /// Level at snapshot time.
+        value: i64,
+        /// Highest level ever set.
+        high_water: i64,
+    },
+    /// A histogram copy.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named snapshot entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Stable snake_case metric name (a schema other tools parse).
+    pub name: &'static str,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+    /// Whether the value derives from wall-clock readings (excluded from
+    /// deterministic artifacts).
+    pub wall: bool,
+}
+
+/// An ordered, named copy of metric values, taken on demand.
+///
+/// Snapshots allocate (they are off the hot path by design); the metrics
+/// they copy never do.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entries, in recording order.
+    pub fn entries(&self) -> &[MetricEntry] {
+        &self.entries
+    }
+
+    /// Records a counter reading.
+    pub fn record_counter(&mut self, name: &'static str, value: u64) {
+        self.entries.push(MetricEntry {
+            name,
+            value: MetricValue::Counter(value),
+            wall: false,
+        });
+    }
+
+    /// Records a gauge reading.
+    pub fn record_gauge(&mut self, name: &'static str, gauge: Gauge) {
+        self.entries.push(MetricEntry {
+            name,
+            value: MetricValue::Gauge {
+                value: gauge.get(),
+                high_water: gauge.high_water(),
+            },
+            wall: false,
+        });
+    }
+
+    /// Records a gauge-style level without a live [`Gauge`] behind it.
+    pub fn record_level(&mut self, name: &'static str, value: i64, high_water: i64) {
+        self.entries.push(MetricEntry {
+            name,
+            value: MetricValue::Gauge { value, high_water },
+            wall: false,
+        });
+    }
+
+    /// Records a histogram copy.
+    pub fn record_histogram(&mut self, name: &'static str, h: &Log2Histogram) {
+        self.push_histogram(name, h, false);
+    }
+
+    /// Records a histogram copy derived from wall-clock readings
+    /// (excluded from deterministic renderings).
+    pub fn record_wall_histogram(&mut self, name: &'static str, h: &Log2Histogram) {
+        self.push_histogram(name, h, true);
+    }
+
+    fn push_histogram(&mut self, name: &'static str, h: &Log2Histogram, wall: bool) {
+        self.entries.push(MetricEntry {
+            name,
+            value: MetricValue::Histogram(HistogramSnapshot {
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+                buckets: h.nonzero_buckets().map(|(i, c)| (i as u32, c)).collect(),
+            }),
+            wall,
+        });
+    }
+
+    /// Appends `"name":value` JSON fields (comma-separated, no braces)
+    /// for every entry — every *deterministic* entry when
+    /// `deterministic_only` — in recording order. Gauges emit two fields:
+    /// `name` and `name_hw`.
+    pub fn write_json_fields(&self, out: &mut String, deterministic_only: bool) {
+        use std::fmt::Write as _;
+        let mut first = true;
+        for e in &self.entries {
+            if deterministic_only && e.wall {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"{}\":{}", e.name, v);
+                }
+                MetricValue::Gauge { value, high_water } => {
+                    let _ = write!(out, "\"{0}\":{1},\"{0}_hw\":{2}", e.name, value, high_water);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                        e.name, h.count, h.sum, h.max
+                    );
+                    for (k, (i, c)) in h.buckets.iter().enumerate() {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{i},{c}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+    }
+
+    /// A copy containing only the deterministic (non-wall-clock) entries.
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            entries: self.entries.iter().filter(|e| !e.wall).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::default();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+
+        let mut g = Gauge::default();
+        g.set(5);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        assert_eq!(g.high_water(), 5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_powers_of_two() {
+        // Exactly at each power of two a value moves up one bucket.
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(7), 3);
+        assert_eq!(Log2Histogram::bucket_index(8), 4);
+        for i in 1..BUCKETS - 1 {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            assert_eq!(Log2Histogram::bucket_index(lo), i, "low edge of {i}");
+            assert_eq!(Log2Histogram::bucket_index(hi - 1), i, "high edge of {i}");
+            assert_eq!(Log2Histogram::bucket_index(hi), i + 1, "next bucket");
+        }
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturates() {
+        let mut h = Log2Histogram::new();
+        let (top_lo, top_hi) = Log2Histogram::bucket_bounds(BUCKETS - 1);
+        assert_eq!(top_hi, u64::MAX);
+        h.observe(top_lo);
+        h.observe(u64::MAX);
+        assert_eq!(h.bucket_count(BUCKETS - 1), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_aggregates_and_quantiles() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Median of 1..=1000 lies in bucket [256, 512); the conservative
+        // estimate is that bucket's upper bound.
+        let med = h.quantile_upper_bound(0.5);
+        assert!((256..=511).contains(&med), "median bound {med}");
+        assert_eq!(h.quantile_upper_bound(1.0), 1000);
+        assert_eq!(Log2Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_everything() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.observe(3);
+        b.observe(100);
+        b.observe(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 103);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.bucket_count(0), 1);
+    }
+
+    #[test]
+    fn snapshot_renders_flat_json_fields() {
+        let mut g = Gauge::default();
+        g.set(4);
+        g.set(2);
+        let mut h = Log2Histogram::new();
+        h.observe(5);
+        let mut s = Snapshot::new();
+        s.record_counter("events", 12);
+        s.record_gauge("queue", g);
+        s.record_histogram("depth", &h);
+        let mut out = String::new();
+        s.write_json_fields(&mut out, true);
+        assert_eq!(
+            out,
+            "\"events\":12,\"queue\":2,\"queue_hw\":4,\
+             \"depth\":{\"count\":1,\"sum\":5,\"max\":5,\"buckets\":[[3,1]]}"
+        );
+    }
+
+    #[test]
+    fn wall_entries_are_excluded_from_deterministic_renderings() {
+        let mut h = Log2Histogram::new();
+        h.observe(7);
+        let mut s = Snapshot::new();
+        s.record_counter("events", 1);
+        s.record_wall_histogram("dispatch_ns", &h);
+        let mut det = String::new();
+        s.write_json_fields(&mut det, true);
+        assert_eq!(det, "\"events\":1");
+        let mut full = String::new();
+        s.write_json_fields(&mut full, false);
+        assert!(full.contains("dispatch_ns"));
+        assert_eq!(s.deterministic().entries().len(), 1);
+    }
+
+    #[test]
+    fn protocol_metrics_fold_and_merge() {
+        let mut a = ProtocolMetrics::default();
+        a.pushes.add(3);
+        a.ihaves.inc();
+        let mut b = ProtocolMetrics::default();
+        b.pushes.inc();
+        b.pull_requests.inc();
+        a.merge(&b);
+        assert_eq!(a.pushes.get(), 4);
+        assert_eq!(a.ihaves.get(), 1);
+        assert_eq!(a.pull_requests.get(), 1);
+        let mut s = Snapshot::new();
+        a.snapshot_into(&mut s);
+        assert_eq!(s.entries().len(), 7);
+        assert!(s.entries().iter().all(|e| !e.wall));
+    }
+}

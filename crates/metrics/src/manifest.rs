@@ -1,0 +1,193 @@
+//! Run provenance: which code, configuration, and machine produced an
+//! artifact.
+//!
+//! Every CSV and JSONL file an experiment writes gets one manifest
+//! header line, so a results file found months later still answers
+//! "which commit, which seed, which stack, which host". The manifest
+//! deliberately excludes anything that varies between byte-identical
+//! runs — timestamps, wall-clock durations, `--jobs` — so stamping it
+//! does not break output determinism.
+
+use std::sync::OnceLock;
+
+/// Identity of one experiment run: code version, configuration, machine.
+///
+/// ```
+/// use gocast_metrics::RunManifest;
+///
+/// let m = RunManifest {
+///     git_sha: "abc123".into(),
+///     host: "ci-runner".into(),
+///     stack: "gocast".into(),
+///     seed: 42,
+///     nodes: 1024,
+///     messages: 1000,
+///     rate: 100.0,
+///     scenario: None,
+/// };
+/// assert_eq!(
+///     m.csv_comment(),
+///     "# gocast-run git=abc123 host=ci-runner stack=gocast seed=42 nodes=1024 messages=1000 rate=100"
+/// );
+/// assert!(m.json_line().starts_with("{\"manifest\":1,"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Commit id of the producing build (`unknown` outside a git checkout).
+    pub git_sha: String,
+    /// Hostname of the producing machine (`unknown` when undetectable).
+    pub host: String,
+    /// Protocol stack driven by the run.
+    pub stack: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Multicast messages injected.
+    pub messages: u32,
+    /// Injection rate, messages/second.
+    pub rate: f64,
+    /// Fault scenario, when one was applied.
+    pub scenario: Option<String>,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl RunManifest {
+    /// The manifest as a CSV comment line (no trailing newline):
+    /// `# gocast-run git=<sha> host=<host> stack=<stack> seed=<seed> ...`.
+    pub fn csv_comment(&self) -> String {
+        let mut s = format!(
+            "# gocast-run git={} host={} stack={} seed={} nodes={} messages={} rate={}",
+            self.git_sha, self.host, self.stack, self.seed, self.nodes, self.messages, self.rate
+        );
+        if let Some(sc) = &self.scenario {
+            s.push_str(" scenario=");
+            s.push_str(sc);
+        }
+        s
+    }
+
+    /// The manifest as one JSON object line (no trailing newline). The
+    /// leading `"manifest":1` key lets JSONL readers skip it without
+    /// schema knowledge.
+    pub fn json_line(&self) -> String {
+        let mut s = String::from("{\"manifest\":1,\"tool\":\"gocast-experiments\",\"git\":\"");
+        escape_json(&self.git_sha, &mut s);
+        s.push_str("\",\"host\":\"");
+        escape_json(&self.host, &mut s);
+        s.push_str("\",\"stack\":\"");
+        escape_json(&self.stack, &mut s);
+        use std::fmt::Write as _;
+        let _ = write!(
+            s,
+            "\",\"seed\":{},\"nodes\":{},\"messages\":{},\"rate\":{}",
+            self.seed, self.nodes, self.messages, self.rate
+        );
+        if let Some(sc) = &self.scenario {
+            s.push_str(",\"scenario\":\"");
+            escape_json(sc, &mut s);
+            s.push('"');
+        }
+        s.push('}');
+        s
+    }
+
+    /// The current checkout's commit id, detected once per process via
+    /// `git rev-parse` (`unknown` when git or the repository is absent).
+    pub fn detect_git_sha() -> &'static str {
+        static SHA: OnceLock<String> = OnceLock::new();
+        SHA.get_or_init(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short=12", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "unknown".into())
+        })
+    }
+
+    /// This machine's hostname, detected once per process (`unknown`
+    /// when undetectable).
+    pub fn detect_host() -> &'static str {
+        static HOST: OnceLock<String> = OnceLock::new();
+        HOST.get_or_init(|| {
+            std::env::var("HOSTNAME")
+                .ok()
+                .or_else(|| std::fs::read_to_string("/proc/sys/kernel/hostname").ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "unknown".into())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            git_sha: "deadbeef".into(),
+            host: "box".into(),
+            stack: "plumtree".into(),
+            seed: 7,
+            nodes: 64,
+            messages: 50,
+            rate: 25.0,
+            scenario: Some("churn(end=60)".into()),
+        }
+    }
+
+    #[test]
+    fn csv_comment_includes_scenario_when_present() {
+        let m = sample();
+        assert_eq!(
+            m.csv_comment(),
+            "# gocast-run git=deadbeef host=box stack=plumtree seed=7 nodes=64 \
+             messages=50 rate=25 scenario=churn(end=60)"
+        );
+    }
+
+    #[test]
+    fn json_line_is_flat_and_skippable() {
+        let line = sample().json_line();
+        assert!(line.starts_with("{\"manifest\":1,"));
+        assert!(line.ends_with('}'));
+        assert!(line.contains("\"seed\":7"));
+        assert!(line.contains("\"scenario\":\"churn(end=60)\""));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        let mut m = sample();
+        m.scenario = Some("a\"b\\c\nd".into());
+        let line = m.json_line();
+        assert!(line.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn detection_never_panics_and_caches() {
+        let a = RunManifest::detect_git_sha();
+        let b = RunManifest::detect_git_sha();
+        assert_eq!(a, b);
+        assert!(!RunManifest::detect_host().is_empty());
+    }
+}

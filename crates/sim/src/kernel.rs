@@ -5,6 +5,7 @@
 //! single-threaded and fully deterministic for a given seed: events at equal
 //! timestamps fire in scheduling order.
 
+use gocast_metrics::{Log2Histogram, Snapshot};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -91,6 +92,98 @@ impl std::fmt::Display for KernelStats {
     }
 }
 
+/// Kernel event classes, for per-class dispatch accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// Message deliveries (including in-flight drops).
+    Deliver,
+    /// Protocol timer firings.
+    Timer,
+    /// Harness-injected commands.
+    Command,
+    /// Kernel control events (failures, link/loss/partition changes).
+    Control,
+}
+
+impl EventClass {
+    /// Every class, in dispatch-table order.
+    pub const ALL: [EventClass; 4] = [
+        EventClass::Deliver,
+        EventClass::Timer,
+        EventClass::Command,
+        EventClass::Control,
+    ];
+
+    /// Stable lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventClass::Deliver => "deliver",
+            EventClass::Timer => "timer",
+            EventClass::Command => "command",
+            EventClass::Control => "control",
+        }
+    }
+
+    /// Dense index into per-class arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    const fn dispatch_metric_name(self) -> &'static str {
+        match self {
+            EventClass::Deliver => "kernel_dispatch_ns_deliver",
+            EventClass::Timer => "kernel_dispatch_ns_timer",
+            EventClass::Command => "kernel_dispatch_ns_command",
+            EventClass::Control => "kernel_dispatch_ns_control",
+        }
+    }
+}
+
+/// Deep kernel instrumentation, off by default ([`Sim::enable_telemetry`]).
+///
+/// The always-on [`KernelStats`] counters cover event totals; this adds a
+/// queue-depth histogram observed at every pop (sim-deterministic) and
+/// per-class dispatch-time histograms sampled every
+/// `TELEMETRY_SAMPLE`-th event (wall-clock, so marked non-deterministic
+/// in snapshots). Sampling keeps the `Instant` reads off most events:
+/// measured overhead stays within the ≤5% budget the wire-path work
+/// requires (see DESIGN.md "Telemetry").
+#[derive(Debug)]
+struct KernelTelemetry {
+    enabled: bool,
+    queue_depth: Log2Histogram,
+    dispatch_ns: [Log2Histogram; EventClass::ALL.len()],
+}
+
+/// Dispatch timing samples every 64th event: two `Instant` reads cost
+/// tens of nanoseconds, which amortized over 64 events is well under a
+/// nanosecond per event.
+const TELEMETRY_SAMPLE: u64 = 64;
+
+impl KernelTelemetry {
+    fn new() -> Self {
+        KernelTelemetry {
+            enabled: false,
+            queue_depth: Log2Histogram::new(),
+            dispatch_ns: [Log2Histogram::new(); EventClass::ALL.len()],
+        }
+    }
+}
+
+fn event_class<M, C>(ev: &KernelEvent<M, C>) -> EventClass {
+    match ev {
+        KernelEvent::Deliver { .. } => EventClass::Deliver,
+        KernelEvent::Fire { .. } => EventClass::Timer,
+        KernelEvent::Command { .. } => EventClass::Command,
+        KernelEvent::Fail { .. }
+        | KernelEvent::SetLink { .. }
+        | KernelEvent::SetLoss { .. }
+        | KernelEvent::SetJitter { .. }
+        | KernelEvent::SetPartition { .. } => EventClass::Control,
+    }
+}
+
 /// Error returned by the `try_*` scheduling methods when the requested
 /// firing time is earlier than the simulation clock.
 ///
@@ -172,6 +265,7 @@ pub struct SimBuilder {
     net: Box<dyn LatencyModel>,
     seed: u64,
     pair_counts: bool,
+    telemetry: bool,
 }
 
 impl std::fmt::Debug for SimBuilder {
@@ -180,6 +274,7 @@ impl std::fmt::Debug for SimBuilder {
             .field("nodes", &self.net.len())
             .field("seed", &self.seed)
             .field("pair_counts", &self.pair_counts)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -192,6 +287,7 @@ impl SimBuilder {
             net: Box::new(net),
             seed: 0,
             pair_counts: false,
+            telemetry: false,
         }
     }
 
@@ -204,6 +300,13 @@ impl SimBuilder {
     /// Enables per-endpoint-pair traffic counting (used for link stress).
     pub fn track_pair_counts(mut self) -> Self {
         self.pair_counts = true;
+        self
+    }
+
+    /// Enables deep kernel telemetry (queue-depth histogram plus sampled
+    /// per-class dispatch timing; see [`Sim::metrics_snapshot`]).
+    pub fn telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 
@@ -224,6 +327,8 @@ impl SimBuilder {
         if self.pair_counts {
             stats.enable_pair_counts();
         }
+        let mut telemetry = KernelTelemetry::new();
+        telemetry.enabled = self.telemetry;
         Sim {
             now: SimTime::ZERO,
             nodes,
@@ -234,6 +339,7 @@ impl SimBuilder {
             recorder,
             stats,
             kernel: KernelStats::default(),
+            telemetry,
             failed_links: LinkSet::default(),
             faults: NetFaults::new(self.seed),
             partition: None,
@@ -262,6 +368,7 @@ pub struct Sim<P: Protocol, R: Recorder<P::Event> = NullRecorder> {
     recorder: R,
     stats: TrafficStats,
     kernel: KernelStats,
+    telemetry: KernelTelemetry,
     /// Currently failed links, as normalized `(min, max)` pairs.
     failed_links: LinkSet,
     /// Send-time fault injection (loss / jitter).
@@ -399,6 +506,56 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         k.events_scheduled = self.queue.scheduled_total();
         k.chaos_losses = self.faults.losses;
         k
+    }
+
+    /// Turns on deep kernel telemetry for an already-built simulation
+    /// (equivalent to [`SimBuilder::telemetry`]).
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry.enabled = true;
+    }
+
+    /// Whether deep kernel telemetry is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.enabled
+    }
+
+    /// A named [`Snapshot`] of every kernel metric under stable `kernel_*`
+    /// names: the always-on [`KernelStats`] counters, event-queue and
+    /// payload-slab occupancy, and — when telemetry is enabled — the
+    /// queue-depth histogram (sim-deterministic) plus per-class dispatch
+    /// timings (wall-clock, marked non-deterministic).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let k = self.kernel_stats();
+        let mut s = Snapshot::new();
+        s.record_counter("kernel_events", k.events_processed);
+        s.record_counter("kernel_scheduled", k.events_scheduled);
+        s.record_counter("kernel_deliveries", k.deliveries);
+        s.record_counter("kernel_drops", k.messages_dropped);
+        s.record_counter("kernel_partition_drops", k.partition_drops);
+        s.record_counter("kernel_chaos_losses", k.chaos_losses);
+        s.record_counter("kernel_timers", k.timers_fired);
+        s.record_counter("kernel_commands", k.commands);
+        s.record_counter("kernel_control", k.control_events);
+        s.record_level(
+            "kernel_queue_len",
+            k.queue_len as i64,
+            k.queue_high_water as i64,
+        );
+        // Slab length is itself a high-water mark of concurrently pending
+        // events; occupied = total minus the recycled free list.
+        let slots = self.queue.slab_slots();
+        let occupied = slots - self.queue.free_slots();
+        s.record_level("kernel_slab_occupied", occupied as i64, slots as i64);
+        if self.telemetry.enabled {
+            s.record_histogram("kernel_queue_depth", &self.telemetry.queue_depth);
+            for class in EventClass::ALL {
+                s.record_wall_histogram(
+                    class.dispatch_metric_name(),
+                    &self.telemetry.dispatch_ns[class.index()],
+                );
+            }
+        }
+        s
     }
 
     /// The recorder.
@@ -776,7 +933,26 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.kernel.events_processed += 1;
-        match ev.payload {
+        if self.telemetry.enabled {
+            self.telemetry.queue_depth.observe(self.queue.len() as u64);
+            if self
+                .kernel
+                .events_processed
+                .is_multiple_of(TELEMETRY_SAMPLE)
+            {
+                let class = event_class(&ev.payload);
+                let t0 = std::time::Instant::now();
+                self.dispatch_event(ev.payload);
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.telemetry.dispatch_ns[class.index()].observe(ns);
+                return;
+            }
+        }
+        self.dispatch_event(ev.payload);
+    }
+
+    fn dispatch_event(&mut self, payload: KernelEvent<P::Msg, P::Command>) {
+        match payload {
             KernelEvent::Deliver { from, to, msg } => {
                 if !self.alive[to.index()] || self.failed_links.contains(link_key(from, to)) {
                     self.kernel.messages_dropped += 1;

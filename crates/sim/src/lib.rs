@@ -86,7 +86,7 @@ mod trace;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::NodeId;
-pub use kernel::{KernelStats, PastScheduleError, Sim, SimBuilder};
+pub use kernel::{EventClass, KernelStats, PastScheduleError, Sim, SimBuilder};
 pub use latency::{FixedLatency, HashedLatency, LatencyModel};
 pub use protocol::{Ctx, HostBackend, Protocol, Timer, Wire};
 pub use queue::{EventQueue, Scheduled};

@@ -195,6 +195,17 @@ impl<T> EventQueue<T> {
         self.heap.capacity().min(self.slab.capacity())
     }
 
+    /// Payload slots ever created — the high-water mark of concurrently
+    /// pending events (occupied slots plus the recycled free list).
+    pub fn slab_slots(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Vacant payload slots currently awaiting reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         let moved = self.heap[i];
         while i > 0 {

@@ -184,6 +184,22 @@ impl<W: io::Write> TraceRecorder<W> {
     }
 }
 
+/// Metric snapshots stream into the same JSONL traces as protocol events:
+/// `{"t_us":...,"node":0,"ev":"metrics","kernel_events":...,...}`. Only the
+/// deterministic entries are written (wall-clock histograms are excluded),
+/// so a metrics-bearing trace stays byte-identical for a given seed.
+impl TraceEvent for gocast_metrics::Snapshot {
+    fn trace_fields(&self, out: &mut String) {
+        out.push_str("\"ev\":\"metrics\"");
+        let mut fields = String::new();
+        self.write_json_fields(&mut fields, true);
+        if !fields.is_empty() {
+            out.push(',');
+            out.push_str(&fields);
+        }
+    }
+}
+
 impl<W: io::Write, E: TraceEvent> Recorder<E> for TraceRecorder<W> {
     fn record(&mut self, now: SimTime, node: NodeId, event: E) {
         let t_us = now.as_nanos() / 1_000;

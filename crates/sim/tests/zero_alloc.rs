@@ -126,3 +126,42 @@ fn steady_state_kernel_path_does_not_allocate() {
     let received: u64 = sim.iter_nodes().map(|(_, p)| p.received).sum();
     assert!(received > 0);
 }
+
+#[test]
+fn telemetry_enabled_kernel_path_does_not_allocate() {
+    // Same workload, with deep telemetry on: the queue-depth histogram
+    // observe per event and the sampled dispatch timings are fixed-array
+    // updates, so the zero-allocation guarantee must hold unchanged.
+    let n = 64u32;
+    let mut sim = SimBuilder::new(FixedLatency::new(n as usize, Duration::from_millis(3)))
+        .seed(7)
+        .telemetry()
+        .build(|id| Ticker { id, n, received: 0 });
+
+    sim.run_until(SimTime::from_secs(2));
+
+    let events_before = sim.kernel_stats().events_processed;
+    let allocs_before = allocations();
+    sim.run_until(SimTime::from_secs(12));
+    let allocs = allocations() - allocs_before;
+    let events = sim.kernel_stats().events_processed - events_before;
+
+    assert!(events > 100_000, "workload too small: {events} events");
+    assert_eq!(
+        allocs, 0,
+        "telemetry-enabled kernel path allocated {allocs} times over {events} events"
+    );
+    // Telemetry actually observed the run.
+    let snap = sim.metrics_snapshot();
+    let depth = snap
+        .entries()
+        .iter()
+        .find(|e| e.name == "kernel_queue_depth")
+        .expect("queue-depth histogram present");
+    match &depth.value {
+        gocast_metrics::MetricValue::Histogram(h) => {
+            assert_eq!(h.count, sim.kernel_stats().events_processed)
+        }
+        other => panic!("unexpected value {other:?}"),
+    }
+}

@@ -239,7 +239,9 @@ impl ConformanceOptions {
         net.run_for(horizon);
         let elapsed = started.elapsed();
         let jsonl = net.trace_jsonl();
-        self.analyze("wire", &jsonl, elapsed)
+        let mut report = self.analyze("wire", &jsonl, elapsed)?;
+        report.wire_metrics = Some(net.metrics_snapshot());
+        Ok(report)
     }
 
     /// Shared analysis pass: JSONL bytes → [`scan_trace`] →
@@ -276,6 +278,7 @@ impl ConformanceOptions {
             } else {
                 deliveries as f64 / elapsed.as_secs_f64()
             },
+            wire_metrics: None,
         })
     }
 }
@@ -303,6 +306,8 @@ pub struct SideReport {
     pub elapsed: Duration,
     /// Delivery throughput: deliveries per wall-clock second.
     pub msgs_per_sec: f64,
+    /// Fabric-level wire metrics (`fabric_*`), wire side only.
+    pub wire_metrics: Option<gocast_metrics::Snapshot>,
 }
 
 /// Both sides plus the thresholds they were compared under.

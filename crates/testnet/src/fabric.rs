@@ -25,6 +25,7 @@ use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
 use gocast::{decode, encode, GoCastCommand, GoCastConfig, GoCastEvent, GoCastMsg, GoCastNode};
+use gocast_metrics::{Gauge, Log2Histogram, Snapshot};
 use gocast_sim::scenario::{Fault, PlannedFault, ScenarioPlan};
 use gocast_sim::{
     Ctx, FxHashMap, HostBackend, NodeId, Protocol, Recorder, SimTime, Timer, TraceRecorder,
@@ -88,6 +89,14 @@ pub struct FabricStats {
     pub datagrams_received: u64,
     /// GoCast protocol messages decoded and dispatched.
     pub wire_msgs: u64,
+    /// `send_to` syscalls attempted (including ones the OS rejected).
+    pub sendto_calls: u64,
+    /// `recv_from` syscalls attempted (including `WouldBlock` returns).
+    pub recvfrom_calls: u64,
+    /// Payload bytes handed to the OS on successful sends.
+    pub bytes_sent: u64,
+    /// Payload bytes read off sockets.
+    pub bytes_received: u64,
     /// Datagrams dropped by injected loss.
     pub dropped_loss: u64,
     /// Datagrams dropped crossing a partition.
@@ -106,6 +115,21 @@ pub struct FabricStats {
     pub unresolved_dropped: u64,
     /// Datagrams that failed transport-frame or codec decoding.
     pub malformed: u64,
+}
+
+/// Event-loop health beyond raw counters: distribution shapes and queue
+/// depths. All of it is wall-clock flavoured (the fabric runs in real
+/// time), so the histograms are flagged `wall` in snapshots.
+#[derive(Debug, Default)]
+struct FabricTelemetry {
+    /// Datagrams drained across all sockets per event-loop iteration.
+    datagrams_per_poll: Log2Histogram,
+    /// How late each timer fired relative to its deadline, in ns.
+    timer_lateness_ns: Log2Histogram,
+    /// Datagrams queued fabric-wide awaiting address resolution.
+    pending_depth: Gauge,
+    /// Outstanding who-has questions remembered fabric-wide.
+    wanted_depth: Gauge,
 }
 
 /// A datagram held back by the jitter impairment.
@@ -166,6 +190,7 @@ pub struct Testnet {
     delayed_seq: u64,
     trace: Vec<(SimTime, NodeId, GoCastEvent)>,
     stats: FabricStats,
+    telemetry: FabricTelemetry,
 }
 
 impl Testnet {
@@ -234,6 +259,7 @@ impl Testnet {
             delayed_seq: 0,
             trace: Vec::new(),
             stats: FabricStats::default(),
+            telemetry: FabricTelemetry::default(),
         })
     }
 
@@ -299,6 +325,42 @@ impl Testnet {
     /// Wire-side counters.
     pub fn stats(&self) -> &FabricStats {
         &self.stats
+    }
+
+    /// A [`Snapshot`] of the fabric's wire-side metrics under `fabric_*`
+    /// names: syscall/datagram/byte counters, per-poll drain and
+    /// timer-lateness distributions, and discovery queue depths. The
+    /// histograms are wall-clock flavoured and flagged accordingly.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        let s = &self.stats;
+        snap.record_counter("fabric_sendto_calls", s.sendto_calls);
+        snap.record_counter("fabric_recvfrom_calls", s.recvfrom_calls);
+        snap.record_counter("fabric_datagrams_sent", s.datagrams_sent);
+        snap.record_counter("fabric_datagrams_received", s.datagrams_received);
+        snap.record_counter("fabric_bytes_sent", s.bytes_sent);
+        snap.record_counter("fabric_bytes_received", s.bytes_received);
+        snap.record_counter("fabric_wire_msgs", s.wire_msgs);
+        snap.record_counter("fabric_delayed", s.delayed);
+        snap.record_counter("fabric_dropped_loss", s.dropped_loss);
+        snap.record_counter("fabric_dropped_partition", s.dropped_partition);
+        snap.record_counter("fabric_dropped_cut", s.dropped_cut);
+        snap.record_counter("fabric_dropped_crashed", s.dropped_crashed);
+        snap.record_counter("fabric_whohas_sent", s.whohas_sent);
+        snap.record_counter("fabric_peer_replies", s.peer_replies);
+        snap.record_counter("fabric_unresolved_dropped", s.unresolved_dropped);
+        snap.record_counter("fabric_malformed", s.malformed);
+        snap.record_gauge("fabric_pending_depth", self.telemetry.pending_depth);
+        snap.record_gauge("fabric_wanted_depth", self.telemetry.wanted_depth);
+        snap.record_wall_histogram(
+            "fabric_datagrams_per_poll",
+            &self.telemetry.datagrams_per_poll,
+        );
+        snap.record_wall_histogram(
+            "fabric_timer_fire_lateness_ns",
+            &self.telemetry.timer_lateness_ns,
+        );
+        snap
     }
 
     /// The captured protocol event trace, stamped with fabric time.
@@ -398,7 +460,13 @@ impl Testnet {
                 if self.impair.is_crashed(NodeId::new(i as u32)) {
                     continue;
                 }
-                while let Some(timer) = self.nodes[i].timers.pop_due(now_i) {
+                while let Some(deadline) = self.nodes[i].timers.next_deadline() {
+                    let Some(timer) = self.nodes[i].timers.pop_due(now_i) else {
+                        break;
+                    };
+                    self.telemetry
+                        .timer_lateness_ns
+                        .observe(now_i.saturating_duration_since(deadline).as_nanos() as u64);
                     self.with_ctx(i, |n, ctx| n.on_timer(ctx, timer));
                     activity = true;
                 }
@@ -409,24 +477,30 @@ impl Testnet {
                     break;
                 }
                 let d = self.delayed.pop().expect("peeked");
+                self.stats.sendto_calls += 1;
                 if self.nodes[d.from_index]
                     .socket
                     .send_to(&d.bytes, d.dest)
                     .is_ok()
                 {
                     self.stats.datagrams_sent += 1;
+                    self.stats.bytes_sent += d.bytes.len() as u64;
                 }
                 activity = true;
             }
             // 5. Drain every socket.
+            let mut drained = 0u64;
             for i in 0..self.nodes.len() {
                 if self.impair.is_crashed(NodeId::new(i as u32)) {
                     continue;
                 }
                 loop {
+                    self.stats.recvfrom_calls += 1;
                     match self.nodes[i].socket.recv_from(&mut buf) {
                         Ok((len, src)) => {
                             activity = true;
+                            drained += 1;
+                            self.stats.bytes_received += len as u64;
                             self.on_datagram(i, src, &buf[..len]);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -437,6 +511,14 @@ impl Testnet {
 
             activity |= (self.stats.datagrams_sent + self.stats.delayed) != sent_before;
             if activity {
+                self.telemetry.datagrams_per_poll.observe(drained);
+                let (mut pending, mut wanted) = (0i64, 0i64);
+                for slot in &self.nodes {
+                    pending += slot.pending.values().map(Vec::len).sum::<usize>() as i64;
+                    wanted += slot.wanted_len as i64;
+                }
+                self.telemetry.pending_depth.set(pending);
+                self.telemetry.wanted_depth.set(wanted);
                 continue;
             }
             // 6. Idle: sleep until the earliest deadline we know about.
@@ -646,8 +728,10 @@ fn transmit(
 ) {
     match impair.judge(from, to) {
         Verdict::Deliver => {
+            stats.sendto_calls += 1;
             if socket.send_to(&bytes, dest).is_ok() {
                 stats.datagrams_sent += 1;
+                stats.bytes_sent += bytes.len() as u64;
             }
         }
         Verdict::DeliverAfter(extra) => {

@@ -1,30 +1,49 @@
 #!/usr/bin/env bash
-# Bench-regression guard for the kernel hot path.
+# Bench-regression guard for the kernel hot path and the wire fabric.
 #
 # Usage: scripts/bench_compare.sh [--update]
 #
-# Reads the committed kernel-throughput baseline from BENCH_kernel.json
-# (`kernel/events_per_steady_second_128`), re-runs the benchmark suite
+# Reads the committed throughput baselines from BENCH_kernel.json
+# (`kernel/events_per_steady_second_128` and
+# `testnet/wire_msgs_per_quarter_second_8`), re-runs the benchmark suite
 # (which rewrites BENCH_kernel.json), and fails if fresh throughput fell
-# more than 25% below the baseline. With `--update` the regenerated file
-# is kept as the new committed baseline; without it, the committed
-# baseline is restored afterwards so a plain check leaves the tree clean.
+# more than 25% below either baseline. The testnet gate is advisory where
+# loopback sockets cannot be bound (the bench reports null there) — the
+# kernel gate always applies. With `--update` the regenerated file is
+# kept as the new committed baseline; without it, the committed baseline
+# is restored afterwards so a plain check leaves the tree clean.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_ID="kernel/events_per_steady_second_128"
+KERNEL_ID="kernel/events_per_steady_second_128"
+TESTNET_ID="testnet/wire_msgs_per_quarter_second_8"
 FILE="BENCH_kernel.json"
 MAX_REGRESSION=0.25
 
 rate_from() {
-    # Extracts rate_per_sec for $BENCH_ID from a BENCH_kernel.json file.
-    awk -v id="$BENCH_ID" '
+    # Extracts rate_per_sec for bench id $1 from BENCH_kernel.json file $2.
+    awk -v id="$1" '
         index($0, "\"" id "\"") {
             if (match($0, /"rate_per_sec": *[0-9.]+/)) {
                 print substr($0, RSTART + 16, RLENGTH - 16)
             }
-        }' "$1"
+        }' "$2"
+}
+
+# gate ID BASELINE FRESH — prints the verdict; returns 1 on regression.
+gate() {
+    local id="$1" old="$2" new="$3"
+    echo "==> baseline $id: $old"
+    echo "==> fresh    $id: $new"
+    local verdict ok=0
+    verdict=$(awk -v old="$old" -v new="$new" -v max="$MAX_REGRESSION" 'BEGIN {
+        change = (new - old) / old
+        printf "change %+.1f%%\n", change * 100
+        exit (change < -max) ? 1 : 0
+    }') || ok=1
+    echo "==> $verdict (fail threshold: -$(awk -v m="$MAX_REGRESSION" 'BEGIN{printf "%.0f", m*100}')%)"
+    return $ok
 }
 
 if [[ ! -f "$FILE" ]]; then
@@ -32,34 +51,37 @@ if [[ ! -f "$FILE" ]]; then
     exit 1
 fi
 
-baseline=$(rate_from "$FILE")
-if [[ -z "$baseline" ]]; then
-    echo "error: $BENCH_ID not found in committed $FILE" >&2
+kernel_baseline=$(rate_from "$KERNEL_ID" "$FILE")
+if [[ -z "$kernel_baseline" ]]; then
+    echo "error: $KERNEL_ID not found in committed $FILE" >&2
     exit 1
 fi
+testnet_baseline=$(rate_from "$TESTNET_ID" "$FILE")
 
 keep_baseline=$(mktemp)
 cp "$FILE" "$keep_baseline"
 
-echo "==> baseline $BENCH_ID: $baseline events/s"
 echo "==> running cargo bench -p gocast-bench (rewrites $FILE)"
 cargo bench -p gocast-bench
 
-fresh=$(rate_from "$FILE")
-if [[ -z "$fresh" ]]; then
+kernel_fresh=$(rate_from "$KERNEL_ID" "$FILE")
+testnet_fresh=$(rate_from "$TESTNET_ID" "$FILE")
+if [[ -z "$kernel_fresh" ]]; then
     cp "$keep_baseline" "$FILE"; rm -f "$keep_baseline"
-    echo "error: $BENCH_ID missing from fresh bench output" >&2
+    echo "error: $KERNEL_ID missing from fresh bench output" >&2
     exit 1
 fi
 
-echo "==> fresh    $BENCH_ID: $fresh events/s"
+failed=0
+gate "$KERNEL_ID" "$kernel_baseline" "$kernel_fresh" || failed=1
 
-verdict=$(awk -v old="$baseline" -v new="$fresh" -v max="$MAX_REGRESSION" 'BEGIN {
-    change = (new - old) / old
-    printf "change %+.1f%%\n", change * 100
-    exit (change < -max) ? 1 : 0
-}') && ok=0 || ok=1
-echo "==> $verdict (fail threshold: -$(awk -v m="$MAX_REGRESSION" 'BEGIN{printf "%.0f", m*100}')%)"
+if [[ -z "$testnet_baseline" ]]; then
+    echo "==> $TESTNET_ID: no committed baseline; skipping wire gate"
+elif [[ -z "$testnet_fresh" ]]; then
+    echo "==> $TESTNET_ID: loopback unavailable in this run; skipping wire gate"
+else
+    gate "$TESTNET_ID" "$testnet_baseline" "$testnet_fresh" || failed=1
+fi
 
 if [[ "${1:-}" == "--update" ]]; then
     rm -f "$keep_baseline"
@@ -69,8 +91,8 @@ else
     rm -f "$keep_baseline"
 fi
 
-if [[ $ok -ne 0 ]]; then
-    echo "FAIL: $BENCH_ID regressed more than 25% against the committed baseline" >&2
+if [[ $failed -ne 0 ]]; then
+    echo "FAIL: benchmark regressed more than 25% against the committed baseline" >&2
     exit 1
 fi
 echo "Bench guard passed."

@@ -28,14 +28,14 @@ echo "==> cargo doc --no-deps (missing docs are errors)"
 # #![warn(missing_docs)], which -D warnings turns into errors.
 FIRST_PARTY=(-p gocast-sim -p gocast-net -p gocast-membership -p gocast
     -p gocast-baselines -p gocast-plumtree -p gocast-analysis
-    -p gocast-experiments -p gocast-udp -p gocast-testnet -p gocast-bench
-    -p gocast-tests -p gocast-examples)
+    -p gocast-metrics -p gocast-experiments -p gocast-udp -p gocast-testnet
+    -p gocast-bench -p gocast-tests -p gocast-examples)
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 
 echo "==> cargo test --doc"
 cargo test -q --doc -p gocast-sim -p gocast-net -p gocast-membership \
     -p gocast -p gocast-baselines -p gocast-plumtree -p gocast-analysis \
-    -p gocast-experiments -p gocast-udp -p gocast-testnet
+    -p gocast-metrics -p gocast-experiments -p gocast-udp -p gocast-testnet
 
 echo "==> chaos smoke scenario (oracle-gated)"
 # A quick scenario-driven churn run; the subcommand exits nonzero if the
@@ -58,6 +58,24 @@ TRACE_DIR="$(mktemp -d)"
 trap 'rm -rf "$TRACE_DIR"' EXIT
 cargo run --release -q -p gocast-experiments -- trace --quick --nodes 64 \
     --messages 20 --no-csv --trace-out "$TRACE_DIR/smoke.jsonl"
+
+echo "==> metrics smoke: instrumented run + JSONL stream determinism"
+# The metrics view runs a fully instrumented simulation and renders every
+# subsystem's telemetry tables; a second quick run streams snapshots to a
+# manifest-stamped JSONL file that must be non-empty and start with the
+# run-manifest header.
+cargo run --release -q -p gocast-experiments -- metrics --quick --nodes 64
+cargo run --release -q -p gocast-experiments -- fig3a --quick --nodes 64 \
+    --no-csv --metrics-out "$TRACE_DIR/metrics.jsonl"
+head -n1 "$TRACE_DIR/metrics.jsonl" | grep -q '"manifest":1' \
+    || { echo "FAIL: metrics JSONL missing run-manifest header" >&2; exit 1; }
+grep -q '"ev":"metrics"' "$TRACE_DIR/metrics.jsonl" \
+    || { echo "FAIL: metrics JSONL contains no snapshots" >&2; exit 1; }
+
+echo "==> telemetry overhead budget (instrumented kernel within 5%)"
+# Exits nonzero if the instrumented kernel retires steady-state events
+# more than 5% slower than the uninstrumented one.
+cargo run --release -q -p gocast-experiments -- metrics --overhead --nodes 64
 
 echo "==> testnet sim-vs-wire conformance (real loopback sockets)"
 # The same workload through the simulator and through real loopback-UDP
