@@ -221,39 +221,76 @@ fn bench_kernel_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-/// Wire throughput of the loopback deployment fabric: how many GoCast
-/// protocol messages per wall-clock second an 8-node testnet moves
-/// through real UDP sockets in steady state (gossip + maintenance +
-/// heartbeats at deployment cadences). Unlike the kernel numbers above,
-/// this is bounded by real time, not CPU — it sizes the fabric's
-/// per-datagram overhead, and `testnet_msgs_per_sec` in the JSON is the
-/// sim-vs-wire reality gap in one number. Skipped (and reported `null`)
-/// where loopback sockets cannot be bound.
+/// Wire throughput of the loopback deployment fabric under saturating
+/// offered load: how many GoCast protocol messages per wall-clock second
+/// a 64-node testnet moves through real UDP sockets when every slice
+/// injects a burst of multicasts (each fanning out tree pushes plus
+/// gossip to 63 receivers). Unlike the kernel numbers above, this is
+/// bounded by syscall and scheduling cost, not virtual time — it sizes
+/// the batched wire path directly. One benchmark per shard count
+/// (1/2/4/8) yields the shard-scaling curve in a single run;
+/// `testnet_msgs_per_sec` in the JSON is the best of the curve, with
+/// `testnet_bench_shards` recording which shard count achieved it.
+/// Skipped (and reported `null`) where loopback sockets cannot be bound.
 fn bench_testnet(c: &mut Criterion) {
+    use gocast::GoCastCommand;
     use gocast_testnet::{Testnet, TestnetConfig};
     if !gocast_testnet::loopback_available() {
         eprintln!("testnet bench skipped: loopback UDP unavailable");
         return;
     }
     const SLICE: Duration = Duration::from_millis(250);
+    const NODES: u32 = 64;
+    /// Multicasts injected per slice (4 per node): enough offered load to
+    /// keep every shard's batch path saturated for the whole slice.
+    const BURST: u32 = 256;
     let mut g = c.benchmark_group("testnet");
     g.sample_size(8);
-    let cfg = TestnetConfig::new(8).with_seed(9);
-    let mut net = Testnet::build_bootstrap(&cfg).expect("bind loopback");
-    // Let the overlay and tree form before measuring.
-    net.run_for(Duration::from_secs(2));
-    // Calibrate: wire messages in one steady-state slice.
-    let before = net.stats().wire_msgs;
-    net.run_for(SLICE);
-    let per_slice = (net.stats().wire_msgs - before).max(1);
-    g.throughput(Throughput::Elements(per_slice));
-    g.bench_function("wire_msgs_per_quarter_second_8", |b| {
-        b.iter(|| {
-            net.run_for(SLICE);
-            net.stats().wire_msgs
-        })
-    });
+    for shards in TESTNET_BENCH_SHARDS {
+        let cfg = TestnetConfig::new(NODES as usize)
+            .with_seed(9)
+            .with_shards(shards)
+            .with_record_trace(false);
+        let mut net = match Testnet::build_bootstrap(&cfg) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("testnet bench (shards={shards}) skipped: {e}");
+                continue;
+            }
+        };
+        // Let the overlay and tree form before measuring.
+        net.run_for(Duration::from_secs(2));
+        let inject = |net: &mut Testnet| {
+            let now = net.now();
+            for i in 0..BURST {
+                net.schedule_command(now, NodeId::new(i % NODES), GoCastCommand::Multicast);
+            }
+        };
+        // Saturate for one slice, then calibrate the per-slice workload.
+        inject(&mut net);
+        net.run_for(SLICE);
+        let before = net.stats().wire_msgs;
+        inject(&mut net);
+        net.run_for(SLICE);
+        let per_slice = (net.stats().wire_msgs - before).max(1);
+        g.throughput(Throughput::Elements(per_slice));
+        g.bench_function(testnet_bench_id(shards), |b| {
+            b.iter(|| {
+                inject(&mut net);
+                net.run_for(SLICE);
+                net.stats().wire_msgs
+            })
+        });
+    }
     g.finish();
+}
+
+/// Shard counts swept by [`bench_testnet`]; the JSON exporter picks the
+/// best of these as the headline `testnet_msgs_per_sec`.
+const TESTNET_BENCH_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+fn testnet_bench_id(shards: usize) -> String {
+    format!("wire_msgs_per_quarter_second_64_shards{shards}")
 }
 
 fn bench_analysis(c: &mut Criterion) {
@@ -340,9 +377,30 @@ fn main() {
         "  \"kernel_events_per_sec_metrics\": {},\n",
         rate_of("kernel/events_per_steady_second_128_metrics"),
     ));
+    // Headline wire number: the best point on the shard-scaling curve,
+    // plus which shard count achieved it (hardware-dependent).
+    let mut best: Option<(usize, f64)> = None;
+    for shards in TESTNET_BENCH_SHARDS {
+        let id = format!("testnet/{}", testnet_bench_id(shards));
+        let rate = results
+            .iter()
+            .find(|r| r.id == id)
+            .and_then(|r| r.rate_per_sec());
+        if let Some(rate) = rate {
+            if best.is_none_or(|(_, b)| rate > b) {
+                best = Some((shards, rate));
+            }
+        }
+    }
+    json.push_str(&format!(
+        "  \"testnet_bench_shards\": {},\n",
+        best.map(|(s, _)| s.to_string())
+            .unwrap_or_else(|| "null".into()),
+    ));
     json.push_str(&format!(
         "  \"testnet_msgs_per_sec\": {}\n}}\n",
-        rate_of("testnet/wire_msgs_per_quarter_second_8"),
+        best.map(|(_, r)| format!("{r:.1}"))
+            .unwrap_or_else(|| "null".into()),
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
     match std::fs::write(path, &json) {

@@ -40,9 +40,9 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-struct Writer(Vec<u8>);
+struct Writer<'a>(&'a mut Vec<u8>);
 
-impl Writer {
+impl Writer<'_> {
     fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
@@ -154,7 +154,7 @@ fn drop_reason_from(t: u8) -> Result<DropReason, DecodeError> {
         .ok_or(DecodeError::BadTag(t))
 }
 
-fn probe_kind(w: &mut Writer, k: ProbeKind) {
+fn probe_kind(w: &mut Writer<'_>, k: ProbeKind) {
     match k {
         ProbeKind::Landmark(i) => {
             w.u8(0);
@@ -188,7 +188,18 @@ fn probe_kind_from(r: &mut Reader<'_>) -> Result<ProbeKind, DecodeError> {
 /// `msg.wire_size() - HEADER_BYTES + 1` (the `+ 1` is the tag byte, which
 /// the accounting folds into the header).
 pub fn encode(msg: &GoCastMsg) -> Vec<u8> {
-    let mut w = Writer(Vec::with_capacity(64));
+    let mut out = Vec::with_capacity(64);
+    encode_into(msg, &mut out);
+    out
+}
+
+/// [`encode`] into a caller-owned buffer, appending to its current
+/// contents. Deployment hosts reuse one scratch buffer across sends so
+/// the steady-state encode path performs no heap allocation once the
+/// buffer has grown to the largest message seen (`encoded_len` bounds it
+/// exactly).
+pub fn encode_into(msg: &GoCastMsg, out: &mut Vec<u8>) {
+    let mut w = Writer(out);
     match msg {
         GoCastMsg::Data {
             id,
@@ -312,7 +323,6 @@ pub fn encode(msg: &GoCastMsg) -> Vec<u8> {
             w.u8(u8::from(*selected));
         }
     }
-    w.0
 }
 
 /// Encoded size of a landmark vector: count word + one `u32` per slot.

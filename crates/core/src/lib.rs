@@ -68,7 +68,7 @@ mod snapshot;
 mod types;
 mod wire;
 
-pub use codec::{decode, encode, encoded_len, DecodeError};
+pub use codec::{decode, encode, encode_into, encoded_len, DecodeError};
 pub use config::{ConfigError, GoCastConfig, GoCastConfigBuilder};
 pub use node::{GoCastCommand, GoCastNode};
 pub use snapshot::{snapshot, Snapshot};

@@ -54,7 +54,9 @@
 //! (`chaos`/`compare`: run K consecutive seeds, composable with
 //! `--jobs`), `--stack NAME` (gocast or plumtree; selects the protocol
 //! stack `chaos` drives — default gocast, the historic behavior —
-//! ignored by `compare`, which always runs both).
+//! ignored by `compare`, which always runs both), `--shards N`
+//! (`testnet` only: partition the wire-side fabric across N event-loop
+//! threads; default 1 reproduces the single-threaded fabric).
 
 use std::time::Duration;
 
@@ -64,7 +66,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|compare|testnet|metrics|all> \
          [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--metrics-out PATH] [--jobs N] \
-         [--scenario NAME] [--spec STR] [--seeds K] [--stack gocast|plumtree] [--overhead]"
+         [--scenario NAME] [--spec STR] [--seeds K] [--stack gocast|plumtree] [--shards N] [--overhead]"
     );
     std::process::exit(2);
 }
@@ -123,6 +125,7 @@ fn parse_opts(args: &[String]) -> CliArgs {
             "--metrics-out" => opts.metrics_out = Some(take("--metrics-out").into()),
             "--overhead" => overhead = true,
             "--jobs" => explicit_jobs = Some(take("--jobs").parse().expect("--jobs")),
+            "--shards" => opts.shards = take("--shards").parse().expect("--shards"),
             "--scenario" => scenario = take("--scenario"),
             "--spec" => spec = Some(take("--spec")),
             "--seeds" => seeds = take("--seeds").parse().expect("--seeds"),
@@ -149,6 +152,10 @@ fn parse_opts(args: &[String]) -> CliArgs {
     }
     if seeds == 0 {
         eprintln!("--seeds must be at least 1");
+        usage()
+    }
+    if opts.shards == 0 {
+        eprintln!("--shards must be at least 1");
         usage()
     }
     CliArgs {

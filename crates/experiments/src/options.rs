@@ -78,6 +78,10 @@ pub struct ExpOptions {
     pub jobs: usize,
     /// Which protocol stack to run (`--stack`; default GoCast).
     pub stack: StackKind,
+    /// Event-loop shards for the wire-side fabric (`--shards N` on the
+    /// `testnet` subcommand). 1 (the default) is the single-threaded
+    /// fabric; simulation subcommands ignore it.
+    pub shards: usize,
 }
 
 impl Default for ExpOptions {
@@ -95,6 +99,7 @@ impl Default for ExpOptions {
             metrics_out: None,
             jobs: 1,
             stack: StackKind::GoCast,
+            shards: 1,
         }
     }
 }
@@ -118,6 +123,7 @@ impl ExpOptions {
             metrics_out: None,
             jobs: 1,
             stack: StackKind::GoCast,
+            shards: 1,
         }
     }
 

@@ -522,6 +522,7 @@ mod tests {
             metrics_out: None,
             jobs: 1,
             stack: StackKind::GoCast,
+            shards: 1,
         }
     }
 

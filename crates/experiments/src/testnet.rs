@@ -58,6 +58,10 @@ pub fn resolve(
     };
     conf.rate = opts.rate;
     conf.protocol = deployment_config();
+    if opts.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    conf.shards = opts.shards;
 
     let scenario = match spec {
         Some(s) => Some(parse_spec(s).map_err(|e| format!("--spec: {e}"))?),
@@ -93,13 +97,14 @@ pub fn testnet(opts: &ExpOptions, scenario: &str, spec: Option<&str>) -> i32 {
         }
     };
     eprintln!(
-        "testnet: {} nodes, {} messages @ {:.0}/s, warmup {:?}, drain {:?}, seed {}{}",
+        "testnet: {} nodes, {} messages @ {:.0}/s, warmup {:?}, drain {:?}, seed {}, shards {}{}",
         conf.nodes,
         conf.messages,
         conf.rate,
         conf.warmup,
         conf.drain,
         conf.seed,
+        conf.shards,
         if conf.scenario.is_some() {
             " (chaos scenario attached)"
         } else {
@@ -115,6 +120,23 @@ pub fn testnet(opts: &ExpOptions, scenario: &str, spec: Option<&str>) -> i32 {
     };
     print!("{}", report.render());
     if let Some(snap) = &report.wire.wire_metrics {
+        // One greppable line for CI: the batching economics of this run.
+        let counter = |name: &str| {
+            snap.entries()
+                .iter()
+                .find_map(|e| match (e.name == name, &e.value) {
+                    (true, gocast_metrics::MetricValue::Counter(v)) => Some(*v),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        println!(
+            "fabric: shards={} syscalls_saved={} sendmmsg_calls={} recvmmsg_calls={}",
+            conf.shards,
+            counter("fabric_syscalls_saved"),
+            counter("fabric_sendmmsg_calls"),
+            counter("fabric_recvmmsg_calls"),
+        );
         crate::report::print_snapshot("wire metrics", snap);
         // `--metrics-out` on testnet captures the wire-side fabric
         // snapshot (manifest-stamped, one line) for offline comparison.

@@ -47,13 +47,23 @@ pub(crate) enum Frame<'a> {
     },
 }
 
-/// Frames a GoCast payload with the sender's identity.
+/// Frames a GoCast payload with the sender's identity. The wire path
+/// frames in place via [`frame_data_into`]; this allocating variant
+/// remains for round-trip tests.
+#[cfg(test)]
 pub(crate) fn encode_data(sender: NodeId, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(5 + payload.len());
-    out.push(TAG_DATA);
-    out.extend_from_slice(&sender.as_u32().to_le_bytes());
+    frame_data_into(sender, &mut out);
     out.extend_from_slice(payload);
     out
+}
+
+/// Appends the `DATA` frame header to `out`; the caller appends the
+/// codec payload (via [`gocast::encode_into`]) right after, so a framed
+/// protocol datagram is built without any intermediate allocation.
+pub(crate) fn frame_data_into(sender: NodeId, out: &mut Vec<u8>) {
+    out.push(TAG_DATA);
+    out.extend_from_slice(&sender.as_u32().to_le_bytes());
 }
 
 /// Encodes an address query for `target`.

@@ -86,6 +86,9 @@ pub struct ConformanceOptions {
     /// Chaos scenario compiled with the same seed for both sides and
     /// anchored at the end of warm-up. `None` runs fault-free.
     pub scenario: Option<Scenario>,
+    /// Event-loop shards for the wire side (the simulator side is
+    /// unaffected; 1 = the single-threaded fabric).
+    pub shards: usize,
     /// Agreement thresholds.
     pub tol: Tolerances,
 }
@@ -103,8 +106,15 @@ impl ConformanceOptions {
             drain: Duration::from_secs(3),
             protocol: crate::deployment_config(),
             scenario: None,
+            shards: 1,
             tol: Tolerances::default(),
         }
+    }
+
+    /// Sets the wire side's event-loop shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// Attaches a chaos scenario (applied to both sides) and relaxes the
@@ -224,6 +234,8 @@ impl ConformanceOptions {
             nodes: self.nodes,
             seed_count: self.nodes.min(3),
             seed: self.seed,
+            shards: self.shards,
+            record_trace: true,
             protocol: self.protocol.clone(),
         };
         let mut net = Testnet::build_bootstrap(&cfg)?;

@@ -1,52 +1,55 @@
-//! The deployment fabric: N GoCast nodes on loopback UDP, one thread.
+//! The deployment fabric: N GoCast nodes on loopback UDP.
 //!
-//! Each node gets its own non-blocking [`UdpSocket`] bound to an ephemeral
-//! `127.0.0.1` port, its own deterministic RNG, and its own
-//! [`TimerWheel`] (the scheduler shared with `gocast-udp`'s single-node
-//! host). A single synchronous event loop drives all of them:
+//! Each node gets its own non-blocking [`UdpSocket`](std::net::UdpSocket)
+//! bound to an ephemeral `127.0.0.1` port, its own deterministic RNG, and
+//! its own `TimerWheel` (the scheduler shared with `gocast-udp`'s
+//! single-node host). Nodes are partitioned round-robin across
+//! [`TestnetConfig::shards`] event loops, each on its own OS thread (one
+//! shard runs inline on the caller's thread). Every shard runs the same
+//! synchronous loop over its slice:
 //!
 //! 1. replay due [`ScenarioPlan`] faults into the impairment shim /
 //!    protocol commands;
 //! 2. fire due protocol commands scheduled by the harness;
 //! 3. fire due timers per node;
 //! 4. release impairment-delayed datagrams whose hold expired;
-//! 5. drain every socket (`recv_from` until `WouldBlock`), decode the
-//!    transport frame, learn the sender's address, and dispatch;
-//! 6. if the iteration did no work, sleep until the earliest known
-//!    deadline (capped at 500 µs, since loopback arrivals cannot
-//!    interrupt a sleep).
+//! 5. drain every socket in `recvmmsg` batches, decode the transport
+//!    frame, learn the sender's address, and dispatch;
+//! 6. flush gathered outbound datagrams in one `sendmmsg` batch; if the
+//!    iteration did no work, sleep until the earliest known deadline
+//!    (timer wheels *and* the jitter queue head, capped at 500 µs since
+//!    loopback arrivals cannot interrupt a sleep).
+//!
+//! Cross-shard traffic travels over real loopback UDP like any other
+//! datagram — shards share no mutable state. Recorded [`GoCastEvent`]s
+//! accumulate in per-shard streams (time-sorted by construction) and are
+//! merged into one trace with a deterministic stable merge after every
+//! run window, the same submission-order discipline the simulator's
+//! `parallel_map` uses for its shards.
 //!
 //! The protocol sees fabric-monotonic [`SimTime`] (zero at the first
 //! `run_for` call), which makes the wire-side trace directly consumable
 //! by the PR-2 analysis pipeline.
 
-use std::collections::BinaryHeap;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
-use gocast::{decode, encode, GoCastCommand, GoCastConfig, GoCastEvent, GoCastMsg, GoCastNode};
-use gocast_metrics::{Gauge, Log2Histogram, Snapshot};
-use gocast_sim::scenario::{Fault, PlannedFault, ScenarioPlan};
-use gocast_sim::{
-    Ctx, FxHashMap, HostBackend, NodeId, Protocol, Recorder, SimTime, Timer, TraceRecorder,
-};
-use gocast_udp::TimerWheel;
+use gocast::{GoCastCommand, GoCastConfig, GoCastEvent, GoCastNode};
+use gocast_metrics::{Gauge, Snapshot};
+use gocast_sim::scenario::ScenarioPlan;
+use gocast_sim::{FxHashMap, NodeId, Recorder, SimTime, TraceRecorder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::bootstrap::{decode_frame, encode_data, encode_peer, encode_whohas, Frame, PeerTable};
-use crate::impair::{Impairments, Verdict};
+use crate::batch::BatchMode;
+use crate::bootstrap::PeerTable;
+use crate::shard::{NodeSlot, Shard};
+use gocast_udp::TimerWheel;
 
-/// Messages queued per unknown peer before the oldest is dropped.
-const PENDING_CAP: usize = 64;
-/// Outstanding who-has questions a node remembers on behalf of others.
-const WANTED_CAP: usize = 256;
-/// Idle-sleep cap: loopback arrivals cannot interrupt a sleep, so the
-/// loop never sleeps longer than this past "nothing to do".
-const IDLE_POLL: Duration = Duration::from_micros(500);
+pub use crate::shard::FabricStats;
 
 /// How a fabric is laid out: node count, how many of them are bootstrap
-/// seeds, the run seed, and the protocol configuration.
+/// seeds, the run seed, shard count, and the protocol configuration.
 #[derive(Debug, Clone)]
 pub struct TestnetConfig {
     /// Number of nodes.
@@ -56,18 +59,27 @@ pub struct TestnetConfig {
     pub seed_count: usize,
     /// Run seed (per-node RNGs and the impairment stream derive from it).
     pub seed: u64,
+    /// Event-loop shards: nodes are partitioned `id % shards` across
+    /// this many OS threads. `1` (the default) runs everything inline on
+    /// the calling thread, byte-identical to the pre-shard fabric.
+    pub shards: usize,
+    /// Whether to record the protocol event trace (default `true`;
+    /// saturation benchmarks turn it off to keep memory flat).
+    pub record_trace: bool,
     /// Protocol configuration (defaults to [`crate::deployment_config`]).
     pub protocol: GoCastConfig,
 }
 
 impl TestnetConfig {
-    /// A fabric of `nodes` nodes with deployment cadences, seed 42, and
-    /// `min(3, nodes)` bootstrap seeds.
+    /// A fabric of `nodes` nodes with deployment cadences, seed 42, one
+    /// shard, and `min(3, nodes)` bootstrap seeds.
     pub fn new(nodes: usize) -> Self {
         TestnetConfig {
             nodes,
             seed_count: nodes.min(3),
             seed: 42,
+            shards: 1,
+            record_trace: true,
             protocol: crate::deployment_config(),
         }
     }
@@ -77,102 +89,19 @@ impl TestnetConfig {
         self.seed = seed;
         self
     }
-}
 
-/// Wire-side counters, separate from the protocol's own
-/// [`gocast::ProtocolCounters`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FabricStats {
-    /// Datagrams handed to the OS (`send_to` calls that did not error).
-    pub datagrams_sent: u64,
-    /// Datagrams read off sockets.
-    pub datagrams_received: u64,
-    /// GoCast protocol messages decoded and dispatched.
-    pub wire_msgs: u64,
-    /// `send_to` syscalls attempted (including ones the OS rejected).
-    pub sendto_calls: u64,
-    /// `recv_from` syscalls attempted (including `WouldBlock` returns).
-    pub recvfrom_calls: u64,
-    /// Payload bytes handed to the OS on successful sends.
-    pub bytes_sent: u64,
-    /// Payload bytes read off sockets.
-    pub bytes_received: u64,
-    /// Datagrams dropped by injected loss.
-    pub dropped_loss: u64,
-    /// Datagrams dropped crossing a partition.
-    pub dropped_partition: u64,
-    /// Datagrams dropped on a cut link.
-    pub dropped_cut: u64,
-    /// Datagrams dropped to/from crashed nodes.
-    pub dropped_crashed: u64,
-    /// Datagrams held back by injected jitter.
-    pub delayed: u64,
-    /// Address queries sent (bootstrap discovery).
-    pub whohas_sent: u64,
-    /// Address answers sent.
-    pub peer_replies: u64,
-    /// Protocol sends dropped because the peer address stayed unknown.
-    pub unresolved_dropped: u64,
-    /// Datagrams that failed transport-frame or codec decoding.
-    pub malformed: u64,
-}
-
-/// Event-loop health beyond raw counters: distribution shapes and queue
-/// depths. All of it is wall-clock flavoured (the fabric runs in real
-/// time), so the histograms are flagged `wall` in snapshots.
-#[derive(Debug, Default)]
-struct FabricTelemetry {
-    /// Datagrams drained across all sockets per event-loop iteration.
-    datagrams_per_poll: Log2Histogram,
-    /// How late each timer fired relative to its deadline, in ns.
-    timer_lateness_ns: Log2Histogram,
-    /// Datagrams queued fabric-wide awaiting address resolution.
-    pending_depth: Gauge,
-    /// Outstanding who-has questions remembered fabric-wide.
-    wanted_depth: Gauge,
-}
-
-/// A datagram held back by the jitter impairment.
-#[derive(Debug)]
-struct DelayedDatagram {
-    release_at: Instant,
-    seq: u64,
-    from_index: usize,
-    dest: SocketAddr,
-    bytes: Vec<u8>,
-}
-
-impl PartialEq for DelayedDatagram {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
+    /// Sets the shard count (builder style); clamped to `1..=nodes` at
+    /// build time.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
-}
-impl Eq for DelayedDatagram {}
-impl PartialOrd for DelayedDatagram {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for DelayedDatagram {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.release_at, other.seq).cmp(&(self.release_at, self.seq))
-    }
-}
 
-/// One hosted node: protocol state machine plus its transport state.
-#[derive(Debug)]
-struct NodeSlot {
-    node: GoCastNode,
-    socket: UdpSocket,
-    addr: SocketAddr,
-    rng: SmallRng,
-    timers: TimerWheel,
-    peers: PeerTable,
-    /// Framed datagrams awaiting address resolution, per unknown peer.
-    pending: FxHashMap<NodeId, Vec<Vec<u8>>>,
-    /// Questions this node could not answer yet: target → askers.
-    wanted: FxHashMap<NodeId, Vec<(NodeId, SocketAddr)>>,
-    wanted_len: usize,
+    /// Enables or disables protocol-event trace recording.
+    pub fn with_record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
 }
 
 /// The process-local deployment fabric. See the [crate docs](crate).
@@ -180,17 +109,10 @@ struct NodeSlot {
 pub struct Testnet {
     epoch: Instant,
     started: bool,
-    nodes: Vec<NodeSlot>,
-    impair: Impairments,
-    plan: Vec<PlannedFault>,
-    plan_next: usize,
-    cmds: Vec<(SimTime, NodeId, GoCastCommand)>,
-    cmds_next: usize,
-    delayed: BinaryHeap<DelayedDatagram>,
-    delayed_seq: u64,
+    shard_count: usize,
+    nodes_total: usize,
+    shards: Vec<Shard>,
     trace: Vec<(SimTime, NodeId, GoCastEvent)>,
-    stats: FabricStats,
-    telemetry: FabricTelemetry,
 }
 
 impl Testnet {
@@ -210,6 +132,8 @@ impl Testnet {
             (1..=cfg.nodes).contains(&cfg.seed_count),
             "seed_count must be in 1..=nodes"
         );
+        assert!(cfg.shards > 0, "shard count must be at least 1");
+        let shard_count = cfg.shards.min(cfg.nodes);
         let sockets: Vec<(UdpSocket, SocketAddr)> = (0..cfg.nodes)
             .map(|_| {
                 let s = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
@@ -223,43 +147,35 @@ impl Testnet {
             .enumerate()
             .map(|(i, (_, a))| (NodeId::new(i as u32), *a))
             .collect();
-        let nodes = sockets
-            .into_iter()
-            .enumerate()
-            .map(|(i, (socket, addr))| {
-                let id = NodeId::new(i as u32);
-                let mut peers = PeerTable::new(seeds.clone());
-                peers.learn(id, addr); // a node always knows itself
-                NodeSlot {
-                    node: make(id),
-                    socket,
-                    addr,
-                    // Same per-node stream derivation as `SimBuilder`.
-                    rng: SmallRng::seed_from_u64(
-                        cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i as u64,
-                    ),
-                    timers: TimerWheel::new(),
-                    peers,
-                    pending: FxHashMap::default(),
-                    wanted: FxHashMap::default(),
-                    wanted_len: 0,
-                }
-            })
+        let mut shards: Vec<Shard> = (0..shard_count)
+            .map(|k| Shard::new(k, shard_count, cfg.nodes, cfg.seed, cfg.record_trace))
             .collect();
+        for (i, (socket, addr)) in sockets.into_iter().enumerate() {
+            let id = NodeId::new(i as u32);
+            let mut peers = PeerTable::new(seeds.clone());
+            peers.learn(id, addr); // a node always knows itself
+            shards[i % shard_count].slots.push(NodeSlot {
+                node: make(id),
+                socket,
+                addr,
+                // Same per-node stream derivation as `SimBuilder`.
+                rng: SmallRng::seed_from_u64(
+                    cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i as u64,
+                ),
+                timers: TimerWheel::new(),
+                peers,
+                pending: FxHashMap::default(),
+                wanted: FxHashMap::default(),
+                wanted_len: 0,
+            });
+        }
         Ok(Testnet {
             epoch: Instant::now(),
             started: false,
-            nodes,
-            impair: Impairments::new(cfg.nodes, cfg.seed),
-            plan: Vec::new(),
-            plan_next: 0,
-            cmds: Vec::new(),
-            cmds_next: 0,
-            delayed: BinaryHeap::new(),
-            delayed_seq: 0,
+            shard_count,
+            nodes_total: cfg.nodes,
+            shards,
             trace: Vec::new(),
-            stats: FabricStats::default(),
-            telemetry: FabricTelemetry::default(),
         })
     }
 
@@ -282,14 +198,31 @@ impl Testnet {
         })
     }
 
+    fn slot(&self, id: NodeId) -> &NodeSlot {
+        let i = id.index();
+        &self.shards[i % self.shard_count].slots[i / self.shard_count]
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.nodes_total
     }
 
     /// Whether the fabric is empty (never true by construction).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.nodes_total == 0
+    }
+
+    /// Number of event-loop shards driving the fabric.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The syscall batching mode the fabric selected at startup. Shards
+    /// demote themselves to [`BatchMode::Portable`] independently on
+    /// `ENOSYS`; this reports shard 0's current mode.
+    pub fn batch_mode(&self) -> BatchMode {
+        self.shards[0].mode()
     }
 
     /// Fabric-monotonic time: zero at the first [`Testnet::run_for`].
@@ -299,43 +232,54 @@ impl Testnet {
 
     /// The hosted protocol state machine of `id` (inspect between runs).
     pub fn node(&self, id: NodeId) -> &GoCastNode {
-        &self.nodes[id.index()].node
+        &self.slot(id).node
     }
 
-    /// Iterates over all hosted nodes.
+    /// Iterates over all hosted nodes in id order.
     pub fn iter_nodes(&self) -> impl Iterator<Item = &GoCastNode> {
-        self.nodes.iter().map(|s| &s.node)
+        (0..self.nodes_total).map(move |i| &self.slot(NodeId::new(i as u32)).node)
     }
 
     /// The socket address `id` is bound to.
     pub fn addr_of(&self, id: NodeId) -> SocketAddr {
-        self.nodes[id.index()].addr
+        self.slot(id).addr
     }
 
     /// How many peer addresses `id` has learned so far.
     pub fn known_peers(&self, id: NodeId) -> usize {
-        self.nodes[id.index()].peers.known()
+        self.slot(id).peers.known()
     }
 
-    /// Whether `id` was crashed by a scenario fault.
+    /// Whether `id` was crashed by a scenario fault. (Every shard
+    /// replays the full plan, so any shard's replica can answer.)
     pub fn is_crashed(&self, id: NodeId) -> bool {
-        self.impair.is_crashed(id)
+        self.shards[0].is_crashed(id)
     }
 
-    /// Wire-side counters.
-    pub fn stats(&self) -> &FabricStats {
-        &self.stats
+    /// Wire-side counters, aggregated across shards.
+    pub fn stats(&self) -> FabricStats {
+        let mut total = FabricStats::default();
+        for sh in &self.shards {
+            total.absorb(&sh.stats);
+        }
+        total
     }
 
     /// A [`Snapshot`] of the fabric's wire-side metrics under `fabric_*`
-    /// names: syscall/datagram/byte counters, per-poll drain and
-    /// timer-lateness distributions, and discovery queue depths. The
-    /// histograms are wall-clock flavoured and flagged accordingly.
+    /// names: syscall/datagram/byte counters (including the batching
+    /// economics: `fabric_sendmmsg_calls`, `fabric_recvmmsg_calls`,
+    /// `fabric_syscalls_saved`), per-poll drain and timer-lateness
+    /// distributions, and discovery queue depths — all aggregated across
+    /// shards. The histograms are wall-clock flavoured and flagged
+    /// accordingly.
     pub fn metrics_snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::new();
-        let s = &self.stats;
+        let s = self.stats();
         snap.record_counter("fabric_sendto_calls", s.sendto_calls);
         snap.record_counter("fabric_recvfrom_calls", s.recvfrom_calls);
+        snap.record_counter("fabric_sendmmsg_calls", s.sendmmsg_calls);
+        snap.record_counter("fabric_recvmmsg_calls", s.recvmmsg_calls);
+        snap.record_counter("fabric_syscalls_saved", s.syscalls_saved);
         snap.record_counter("fabric_datagrams_sent", s.datagrams_sent);
         snap.record_counter("fabric_datagrams_received", s.datagrams_received);
         snap.record_counter("fabric_bytes_sent", s.bytes_sent);
@@ -350,20 +294,51 @@ impl Testnet {
         snap.record_counter("fabric_peer_replies", s.peer_replies);
         snap.record_counter("fabric_unresolved_dropped", s.unresolved_dropped);
         snap.record_counter("fabric_malformed", s.malformed);
-        snap.record_gauge("fabric_pending_depth", self.telemetry.pending_depth);
-        snap.record_gauge("fabric_wanted_depth", self.telemetry.wanted_depth);
-        snap.record_wall_histogram(
-            "fabric_datagrams_per_poll",
-            &self.telemetry.datagrams_per_poll,
+        // Gauges: sum the per-shard depths. Setting the summed high
+        // water first makes the merged gauge's own high-water mark
+        // cover it, then the summed current level lands on top.
+        let mut pending = Gauge::default();
+        let mut wanted = Gauge::default();
+        pending.set(
+            self.shards
+                .iter()
+                .map(|s| s.telemetry.pending_depth.high_water())
+                .sum(),
         );
-        snap.record_wall_histogram(
-            "fabric_timer_fire_lateness_ns",
-            &self.telemetry.timer_lateness_ns,
+        pending.set(
+            self.shards
+                .iter()
+                .map(|s| s.telemetry.pending_depth.get())
+                .sum(),
         );
+        wanted.set(
+            self.shards
+                .iter()
+                .map(|s| s.telemetry.wanted_depth.high_water())
+                .sum(),
+        );
+        wanted.set(
+            self.shards
+                .iter()
+                .map(|s| s.telemetry.wanted_depth.get())
+                .sum(),
+        );
+        snap.record_gauge("fabric_pending_depth", pending);
+        snap.record_gauge("fabric_wanted_depth", wanted);
+        let mut per_poll = self.shards[0].telemetry.datagrams_per_poll;
+        let mut lateness = self.shards[0].telemetry.timer_lateness_ns;
+        for sh in &self.shards[1..] {
+            per_poll.merge(&sh.telemetry.datagrams_per_poll);
+            lateness.merge(&sh.telemetry.timer_lateness_ns);
+        }
+        snap.record_wall_histogram("fabric_datagrams_per_poll", &per_poll);
+        snap.record_wall_histogram("fabric_timer_fire_lateness_ns", &lateness);
         snap
     }
 
-    /// The captured protocol event trace, stamped with fabric time.
+    /// The captured protocol event trace, stamped with fabric time and
+    /// merged across shards (empty when the fabric was built with
+    /// `record_trace` off).
     pub fn trace(&self) -> &[(SimTime, NodeId, GoCastEvent)] {
         &self.trace
     }
@@ -380,20 +355,41 @@ impl Testnet {
         rec.finish().expect("in-memory sink cannot fail")
     }
 
+    /// A canonical digest of *which node delivered which message*: one
+    /// `origin,seq,receiver` line per delivery, sorted. Wall-clock
+    /// timestamps differ run to run (and shard to shard), but once every
+    /// injected message has drained, this digest is byte-identical for
+    /// any shard count — the shard-conformance tests gate on it.
+    pub fn delivery_manifest(&self) -> String {
+        let mut lines: Vec<String> = self
+            .trace
+            .iter()
+            .filter_map(|(_, node, e)| match e {
+                GoCastEvent::Delivered { id, .. } => Some(format!(
+                    "{},{},{}",
+                    id.origin.as_u32(),
+                    id.seq,
+                    node.as_u32()
+                )),
+                _ => None,
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    }
+
     /// Schedules a protocol command at fabric time `at` (commands due in
-    /// the past fire on the next loop iteration).
+    /// the past fire on the next loop iteration). The command is routed
+    /// to the shard that owns `node`.
     pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: GoCastCommand) {
-        assert!(
-            self.cmds_next == 0 || at >= self.cmds[self.cmds_next - 1].0,
-            "cannot schedule a command before already-fired ones"
-        );
-        self.cmds.push((at, node, cmd));
-        self.cmds[self.cmds_next..].sort_by_key(|(t, n, _)| (*t, n.as_u32()));
+        let k = node.index() % self.shard_count;
+        self.shards[k].schedule_command(at, node, cmd);
     }
 
     /// Attaches a compiled scenario: its faults replay against the real
     /// sockets at their planned (fabric-relative) times. Compile the plan
-    /// with `ScenarioEnv::starting_at` to offset it into the run.
+    /// with `ScenarioEnv::starting_at` to offset it into the run. Every
+    /// shard replays the full plan against its own impairment replica.
     ///
     /// # Panics
     ///
@@ -401,458 +397,68 @@ impl Testnet {
     pub fn attach_plan(&mut self, plan: &ScenarioPlan) {
         assert_eq!(
             plan.nodes(),
-            self.nodes.len(),
+            self.nodes_total,
             "plan was compiled for a different node count"
         );
-        self.plan.extend(plan.events().iter().cloned());
-        self.plan[self.plan_next..].sort_by_key(|f| f.at);
+        for sh in &mut self.shards {
+            sh.attach_plan(plan.events());
+        }
     }
 
-    fn instant_of(&self, t: SimTime) -> Instant {
-        self.epoch + Duration::from_nanos(t.as_nanos())
-    }
-
-    /// Runs every node's `on_start` once; fabric time zero is here.
+    /// Resets shared fabric time and arms every shard; fabric time zero
+    /// is here.
     fn start(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
         self.epoch = Instant::now();
-        for i in 0..self.nodes.len() {
-            self.with_ctx(i, |n, ctx| n.on_start(ctx));
+        for sh in &mut self.shards {
+            sh.epoch = self.epoch;
         }
     }
 
     /// Runs the fabric for `duration` of wall-clock time. Callable
-    /// repeatedly; `on_start` fires on the first call.
+    /// repeatedly; `on_start` fires on the first call. With one shard
+    /// everything runs inline on the calling thread; with more, each
+    /// shard gets a scoped OS thread and the per-shard event streams are
+    /// merged deterministically when all of them return.
     pub fn run_for(&mut self, duration: Duration) {
         self.start();
         let deadline = Instant::now() + duration;
-        let mut buf = [0u8; 65536];
-        loop {
-            let now_i = Instant::now();
-            if now_i >= deadline {
-                return;
-            }
-            let now_s = self.now();
-            let sent_before = self.stats.datagrams_sent + self.stats.delayed;
-            let mut activity = false;
-
-            // 1. Planned scenario faults.
-            while self.plan_next < self.plan.len() && self.plan[self.plan_next].at <= now_s {
-                let fault = self.plan[self.plan_next].fault.clone();
-                self.plan_next += 1;
-                self.apply_fault(fault);
-                activity = true;
-            }
-            // 2. Scheduled protocol commands.
-            while self.cmds_next < self.cmds.len() && self.cmds[self.cmds_next].0 <= now_s {
-                let (_, id, cmd) = self.cmds[self.cmds_next];
-                self.cmds_next += 1;
-                if !self.impair.is_crashed(id) {
-                    self.with_ctx(id.index(), |n, ctx| n.on_command(ctx, cmd));
+        if self.shards.len() == 1 {
+            self.shards[0].run_until(deadline);
+        } else {
+            std::thread::scope(|s| {
+                for shard in &mut self.shards {
+                    s.spawn(move || shard.run_until(deadline));
                 }
-                activity = true;
-            }
-            // 3. Due timers, per node.
-            for i in 0..self.nodes.len() {
-                if self.impair.is_crashed(NodeId::new(i as u32)) {
-                    continue;
-                }
-                while let Some(deadline) = self.nodes[i].timers.next_deadline() {
-                    let Some(timer) = self.nodes[i].timers.pop_due(now_i) else {
-                        break;
-                    };
-                    self.telemetry
-                        .timer_lateness_ns
-                        .observe(now_i.saturating_duration_since(deadline).as_nanos() as u64);
-                    self.with_ctx(i, |n, ctx| n.on_timer(ctx, timer));
-                    activity = true;
-                }
-            }
-            // 4. Jitter-delayed datagrams whose hold expired.
-            while let Some(d) = self.delayed.peek() {
-                if d.release_at > now_i {
-                    break;
-                }
-                let d = self.delayed.pop().expect("peeked");
-                self.stats.sendto_calls += 1;
-                if self.nodes[d.from_index]
-                    .socket
-                    .send_to(&d.bytes, d.dest)
-                    .is_ok()
-                {
-                    self.stats.datagrams_sent += 1;
-                    self.stats.bytes_sent += d.bytes.len() as u64;
-                }
-                activity = true;
-            }
-            // 5. Drain every socket.
-            let mut drained = 0u64;
-            for i in 0..self.nodes.len() {
-                if self.impair.is_crashed(NodeId::new(i as u32)) {
-                    continue;
-                }
-                loop {
-                    self.stats.recvfrom_calls += 1;
-                    match self.nodes[i].socket.recv_from(&mut buf) {
-                        Ok((len, src)) => {
-                            activity = true;
-                            drained += 1;
-                            self.stats.bytes_received += len as u64;
-                            self.on_datagram(i, src, &buf[..len]);
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                        Err(_) => break, // transient; UDP semantics
-                    }
-                }
-            }
-
-            activity |= (self.stats.datagrams_sent + self.stats.delayed) != sent_before;
-            if activity {
-                self.telemetry.datagrams_per_poll.observe(drained);
-                let (mut pending, mut wanted) = (0i64, 0i64);
-                for slot in &self.nodes {
-                    pending += slot.pending.values().map(Vec::len).sum::<usize>() as i64;
-                    wanted += slot.wanted_len as i64;
-                }
-                self.telemetry.pending_depth.set(pending);
-                self.telemetry.wanted_depth.set(wanted);
-                continue;
-            }
-            // 6. Idle: sleep until the earliest deadline we know about.
-            let mut next = deadline;
-            if let Some(f) = self.plan.get(self.plan_next) {
-                next = next.min(self.instant_of(f.at));
-            }
-            if let Some((t, _, _)) = self.cmds.get(self.cmds_next) {
-                next = next.min(self.instant_of(*t));
-            }
-            if let Some(d) = self.delayed.peek() {
-                next = next.min(d.release_at);
-            }
-            for slot in &mut self.nodes {
-                if let Some(t) = slot.timers.next_deadline() {
-                    next = next.min(t);
-                }
-            }
-            let wait = next
-                .saturating_duration_since(Instant::now())
-                .min(IDLE_POLL);
-            if !wait.is_zero() {
-                std::thread::sleep(wait);
-            }
-        }
-    }
-
-    /// Replays one planned fault: network faults go to the impairment
-    /// shim, node faults become crash marks or protocol commands — the
-    /// same split `ScenarioPlan::schedule_into` performs for the kernel.
-    fn apply_fault(&mut self, fault: Fault) {
-        match fault {
-            Fault::Crash(id) => self.impair.set_crashed(id),
-            Fault::Leave(id) => {
-                if !self.impair.is_crashed(id) {
-                    self.with_ctx(id.index(), |n, ctx| n.on_command(ctx, GoCastCommand::Leave));
-                }
-            }
-            Fault::Join { node, contact } => {
-                if !self.impair.is_crashed(node) {
-                    self.with_ctx(node.index(), |n, ctx| {
-                        n.on_command(ctx, GoCastCommand::Join { contact })
-                    });
-                }
-            }
-            net => {
-                self.impair.apply(&net);
-            }
-        }
-    }
-
-    /// Handles one received datagram for node `i`.
-    fn on_datagram(&mut self, i: usize, src: SocketAddr, data: &[u8]) {
-        self.stats.datagrams_received += 1;
-        let Some(frame) = decode_frame(data) else {
-            self.stats.malformed += 1;
-            return;
-        };
-        match frame {
-            Frame::Data { sender, payload } => {
-                let msg = match decode(payload) {
-                    Ok(m) => m,
-                    Err(_) => {
-                        self.stats.malformed += 1;
-                        return;
-                    }
-                };
-                if self.nodes[i].peers.learn(sender, src) {
-                    self.on_learned(i, sender);
-                }
-                self.stats.wire_msgs += 1;
-                self.with_ctx(i, |n, ctx| n.on_message(ctx, sender, msg));
-            }
-            Frame::WhoHas { sender, target } => {
-                if self.nodes[i].peers.learn(sender, src) {
-                    self.on_learned(i, sender);
-                }
-                match self.nodes[i].peers.addr_of(target) {
-                    Some(addr) => self.answer_whohas(i, sender, src, target, addr),
-                    None => {
-                        // Remember the question; answer when the target
-                        // first contacts us (bounded memory).
-                        let slot = &mut self.nodes[i];
-                        if slot.wanted_len < WANTED_CAP {
-                            slot.wanted.entry(target).or_default().push((sender, src));
-                            slot.wanted_len += 1;
-                        }
-                    }
-                }
-            }
-            Frame::Peer { sender, peer, addr } => {
-                if self.nodes[i].peers.learn(sender, src) {
-                    self.on_learned(i, sender);
-                }
-                if self.nodes[i].peers.learn(peer, addr) {
-                    self.on_learned(i, peer);
-                }
-            }
-        }
-    }
-
-    /// Node `i` just learned `peer`'s address: flush datagrams queued for
-    /// it and answer anyone who asked where it lives.
-    fn on_learned(&mut self, i: usize, peer: NodeId) {
-        let Some(addr) = self.nodes[i].peers.addr_of(peer) else {
-            return;
-        };
-        if let Some(queue) = self.nodes[i].pending.remove(&peer) {
-            for bytes in queue {
-                self.transmit_from(i, peer, addr, bytes);
-            }
-        }
-        if let Some(askers) = self.nodes[i].wanted.remove(&peer) {
-            self.nodes[i].wanted_len -= askers.len();
-            for (asker, asker_addr) in askers {
-                self.answer_whohas(i, asker, asker_addr, peer, addr);
-            }
-        }
-    }
-
-    fn answer_whohas(
-        &mut self,
-        i: usize,
-        asker: NodeId,
-        asker_addr: SocketAddr,
-        target: NodeId,
-        target_addr: SocketAddr,
-    ) {
-        let me = self.nodes[i].node.id();
-        if let Some(bytes) = encode_peer(me, target, target_addr) {
-            self.stats.peer_replies += 1;
-            self.transmit_from(i, asker, asker_addr, bytes);
-        }
-    }
-
-    /// Sends pre-framed bytes from node `i` to `to`, through the
-    /// impairment shim.
-    fn transmit_from(&mut self, i: usize, to: NodeId, dest: SocketAddr, bytes: Vec<u8>) {
-        let from = self.nodes[i].node.id();
-        transmit(
-            &self.nodes[i].socket,
-            i,
-            from,
-            to,
-            dest,
-            bytes,
-            &mut self.impair,
-            &mut self.delayed,
-            &mut self.delayed_seq,
-            &mut self.stats,
-        );
-    }
-
-    /// Runs a protocol handler for node `i` with a fabric-backed context.
-    fn with_ctx<F>(&mut self, i: usize, f: F)
-    where
-        F: FnOnce(&mut GoCastNode, &mut Ctx<'_, GoCastNode>),
-    {
-        let node_count = self.nodes.len();
-        let now = self.now();
-        let Testnet {
-            nodes,
-            impair,
-            delayed,
-            delayed_seq,
-            trace,
-            stats,
-            ..
-        } = self;
-        let slot = &mut nodes[i];
-        let id = slot.node.id();
-        let mut io = FabricIo {
-            id,
-            from_index: i,
-            now,
-            node_count,
-            socket: &slot.socket,
-            peers: &mut slot.peers,
-            pending: &mut slot.pending,
-            timers: &mut slot.timers,
-            impair,
-            delayed,
-            delayed_seq,
-            trace,
-            stats,
-        };
-        let mut ctx = Ctx::for_host(id, now, &mut slot.rng, &mut io);
-        f(&mut slot.node, &mut ctx);
-    }
-}
-
-/// Shared transmit path: every outgoing datagram — protocol data,
-/// discovery queries, discovery answers, flushed backlogs — passes the
-/// impairment shim exactly once.
-#[allow(clippy::too_many_arguments)]
-fn transmit(
-    socket: &UdpSocket,
-    from_index: usize,
-    from: NodeId,
-    to: NodeId,
-    dest: SocketAddr,
-    bytes: Vec<u8>,
-    impair: &mut Impairments,
-    delayed: &mut BinaryHeap<DelayedDatagram>,
-    delayed_seq: &mut u64,
-    stats: &mut FabricStats,
-) {
-    match impair.judge(from, to) {
-        Verdict::Deliver => {
-            stats.sendto_calls += 1;
-            if socket.send_to(&bytes, dest).is_ok() {
-                stats.datagrams_sent += 1;
-                stats.bytes_sent += bytes.len() as u64;
-            }
-        }
-        Verdict::DeliverAfter(extra) => {
-            *delayed_seq += 1;
-            stats.delayed += 1;
-            delayed.push(DelayedDatagram {
-                release_at: Instant::now() + extra,
-                seq: *delayed_seq,
-                from_index,
-                dest,
-                bytes,
             });
         }
-        Verdict::DropLoss => stats.dropped_loss += 1,
-        Verdict::DropPartition => stats.dropped_partition += 1,
-        Verdict::DropCut => stats.dropped_cut += 1,
-        Verdict::DropCrashed => stats.dropped_crashed += 1,
+        let streams: Vec<_> = self.shards.iter_mut().map(|sh| &mut sh.trace).collect();
+        merge_event_streams(&mut self.trace, streams);
     }
 }
 
-/// The world a protocol handler sees on the fabric.
-struct FabricIo<'a> {
-    id: NodeId,
-    from_index: usize,
-    now: SimTime,
-    node_count: usize,
-    socket: &'a UdpSocket,
-    peers: &'a mut PeerTable,
-    pending: &'a mut FxHashMap<NodeId, Vec<Vec<u8>>>,
-    timers: &'a mut TimerWheel,
-    impair: &'a mut Impairments,
-    delayed: &'a mut BinaryHeap<DelayedDatagram>,
-    delayed_seq: &'a mut u64,
-    trace: &'a mut Vec<(SimTime, NodeId, GoCastEvent)>,
-    stats: &'a mut FabricStats,
-}
-
-impl HostBackend<GoCastNode> for FabricIo<'_> {
-    fn send(&mut self, to: NodeId, msg: GoCastMsg) {
-        let framed = encode_data(self.id, &encode(&msg));
-        match self.peers.addr_of(to) {
-            Some(dest) => transmit(
-                self.socket,
-                self.from_index,
-                self.id,
-                to,
-                dest,
-                framed,
-                self.impair,
-                self.delayed,
-                self.delayed_seq,
-                self.stats,
-            ),
-            None => {
-                // Unknown peer: queue the datagram and ask the seeds.
-                let queue = self.pending.entry(to).or_default();
-                if queue.len() >= PENDING_CAP {
-                    queue.remove(0);
-                    self.stats.unresolved_dropped += 1;
-                }
-                queue.push(framed);
-                // Query on the first enqueue, then every eighth, so a
-                // lost query is retried as protocol traffic keeps coming.
-                if queue.len() % 8 == 1 {
-                    let query = encode_whohas(self.id, to);
-                    for (seed, seed_addr) in self.peers.seeds().to_vec() {
-                        if seed == self.id {
-                            continue;
-                        }
-                        self.stats.whohas_sent += 1;
-                        transmit(
-                            self.socket,
-                            self.from_index,
-                            self.id,
-                            seed,
-                            seed_addr,
-                            query.clone(),
-                            self.impair,
-                            self.delayed,
-                            self.delayed_seq,
-                            self.stats,
-                        );
-                    }
-                }
-            }
-        }
+/// Drains per-shard event streams into `dst` with a deterministic merge:
+/// streams are appended in shard order, then the new tail is stable-sorted
+/// by timestamp — so equal-time events keep shard-index order, and events
+/// within one shard keep their submission order. This is the same merge
+/// discipline `gocast_sim`'s `parallel_map` uses for simulator shards.
+fn merge_event_streams(
+    dst: &mut Vec<(SimTime, NodeId, GoCastEvent)>,
+    streams: Vec<&mut Vec<(SimTime, NodeId, GoCastEvent)>>,
+) {
+    let start = dst.len();
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return;
     }
-
-    fn set_timer(&mut self, delay: Duration, timer: Timer) {
-        self.timers.schedule(Instant::now() + delay, timer);
+    dst.reserve(total);
+    for stream in streams {
+        dst.append(stream);
     }
-
-    fn emit(&mut self, event: GoCastEvent) {
-        self.trace.push((self.now, self.id, event));
-    }
-
-    fn node_count(&self) -> usize {
-        self.node_count
-    }
-}
-
-impl std::fmt::Display for FabricStats {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "sent={} recv={} msgs={} delayed={} drops(loss/part/cut/crash)={}/{}/{}/{} \
-             whohas={} replies={} unresolved={} malformed={}",
-            self.datagrams_sent,
-            self.datagrams_received,
-            self.wire_msgs,
-            self.delayed,
-            self.dropped_loss,
-            self.dropped_partition,
-            self.dropped_cut,
-            self.dropped_crashed,
-            self.whohas_sent,
-            self.peer_replies,
-            self.unresolved_dropped,
-            self.malformed,
-        )
-    }
+    dst[start..].sort_by_key(|(t, _, _)| *t);
 }
 
 #[cfg(test)]
@@ -889,6 +495,68 @@ mod tests {
             .count();
         assert_eq!(deliveries, 3, "every other node must deliver once");
         assert_eq!(net.stats().malformed, 0);
+    }
+
+    #[test]
+    fn sharded_fabric_delivers_and_saves_syscalls() {
+        if skip() {
+            return;
+        }
+        let cfg = TestnetConfig::new(4).with_seed(9).with_shards(2);
+        let mut net = Testnet::build_bootstrap(&cfg).expect("bind loopback");
+        assert_eq!(net.shard_count(), 2);
+        net.schedule_command(
+            SimTime::from_secs(2),
+            NodeId::new(1),
+            GoCastCommand::Multicast,
+        );
+        net.run_for(Duration::from_secs(3));
+        let deliveries = net
+            .trace()
+            .iter()
+            .filter(|(_, _, e)| matches!(e, GoCastEvent::Delivered { .. }))
+            .count();
+        assert_eq!(deliveries, 3, "every other node must deliver once");
+        let stats = net.stats();
+        assert_eq!(stats.malformed, 0);
+        if net.batch_mode() == crate::BatchMode::Mmsg {
+            assert!(
+                stats.recvmmsg_calls > 0,
+                "mmsg mode never used recvmmsg: {stats}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_trace_is_time_sorted_with_stable_ties() {
+        let ev = || GoCastEvent::Injected {
+            id: gocast::MsgId {
+                origin: NodeId::new(0),
+                seq: 0,
+            },
+        };
+        let t = SimTime::from_nanos;
+        // Two synthetic shard streams with an equal-time collision at 5.
+        let mut a = vec![
+            (t(1), NodeId::new(0), ev()),
+            (t(5), NodeId::new(0), ev()),
+            (t(9), NodeId::new(2), ev()),
+        ];
+        let mut b = vec![(t(2), NodeId::new(1), ev()), (t(5), NodeId::new(1), ev())];
+        let mut merged = Vec::new();
+        merge_event_streams(&mut merged, vec![&mut a, &mut b]);
+        let order: Vec<(u64, u32)> = merged
+            .iter()
+            .map(|(t, n, _)| (t.as_nanos(), n.as_u32()))
+            .collect();
+        // Time-sorted; the tie at t=5 keeps shard order (shard 0 first).
+        assert_eq!(order, vec![(1, 0), (2, 1), (5, 0), (5, 1), (9, 2)]);
+        assert!(a.is_empty() && b.is_empty(), "streams must be drained");
+        // Merging the next window appends after the existing tail.
+        let mut c = vec![(t(11), NodeId::new(1), ev())];
+        merge_event_streams(&mut merged, vec![&mut c]);
+        assert_eq!(merged.len(), 6);
+        assert_eq!(merged[5].0, t(11));
     }
 
     #[test]
@@ -934,5 +602,56 @@ mod tests {
             net.stats().dropped_crashed > 0,
             "no traffic hit the crash wall"
         );
+    }
+
+    /// Regression: with jitter holding datagrams back, the idle sleep
+    /// must wake for the jitter-queue head (not only timer wheels), so
+    /// held datagrams release on time and deliveries still happen
+    /// promptly.
+    #[test]
+    fn jittered_datagrams_release_on_time() {
+        if skip() {
+            return;
+        }
+        let cfg = TestnetConfig::new(4).with_seed(7);
+        let mut net = Testnet::build_bootstrap(&cfg).expect("bind loopback");
+        let scenario =
+            Scenario::new().jitter_at(Duration::from_millis(0), Duration::from_millis(30));
+        let plan = scenario.compile(&ScenarioEnv::new(4, 7));
+        net.attach_plan(&plan);
+        net.schedule_command(
+            SimTime::from_secs(2),
+            NodeId::new(0),
+            GoCastCommand::Multicast,
+        );
+        net.run_for(Duration::from_secs(3));
+        let stats = net.stats();
+        assert!(stats.delayed > 0, "jitter plan never held a datagram");
+        let deliveries = net
+            .trace()
+            .iter()
+            .filter(|(_, _, e)| matches!(e, GoCastEvent::Delivered { .. }))
+            .count();
+        assert_eq!(
+            deliveries, 3,
+            "held datagrams failed to release in time: {stats}"
+        );
+    }
+
+    #[test]
+    fn record_trace_off_keeps_the_trace_empty() {
+        if skip() {
+            return;
+        }
+        let cfg = TestnetConfig::new(2).with_seed(4).with_record_trace(false);
+        let mut net = Testnet::build_bootstrap(&cfg).expect("bind loopback");
+        net.schedule_command(
+            SimTime::from_millis(1500),
+            NodeId::new(0),
+            GoCastCommand::Multicast,
+        );
+        net.run_for(Duration::from_millis(2500));
+        assert!(net.trace().is_empty(), "trace recorded despite opt-out");
+        assert!(net.stats().wire_msgs > 0, "fabric moved no messages");
     }
 }

@@ -24,6 +24,12 @@
 //!   harness that runs the same workload through the simulator and the
 //!   testnet and compares delivery ratio, hop histograms, and
 //!   tree-vs-pull recovery fractions within stated tolerances.
+//! - **A batched, sharded wire path** ([`batch`]): outbound datagrams
+//!   gather into `sendmmsg` batches and inbound traffic drains through
+//!   `recvmmsg` (portable one-at-a-time fallback at runtime), while
+//!   [`TestnetConfig::shards`] partitions nodes across OS threads, each
+//!   owning its slice's sockets and timers. Steady-state framing
+//!   allocates nothing.
 //!
 //! # Quick start
 //!
@@ -48,11 +54,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod bootstrap;
 pub mod conformance;
 mod fabric;
 pub mod impair;
+mod shard;
 
+pub use batch::{BatchBuffer, BatchMode, RecvBatch};
 pub use bootstrap::PeerTable;
 pub use conformance::{ConformanceOptions, ConformanceReport, SideReport};
 pub use fabric::{FabricStats, Testnet, TestnetConfig};

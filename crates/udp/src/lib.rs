@@ -51,7 +51,7 @@ use gocast_sim::{Ctx, HostBackend, NodeId, Protocol, SimTime, Timer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-pub use sched::TimerWheel;
+pub use sched::{DelayQueue, TimerWheel};
 
 /// Maps [`NodeId`]s to socket addresses. In a deployment this would come
 /// from configuration or a discovery service; the `gocast-testnet` fabric

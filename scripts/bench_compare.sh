@@ -4,8 +4,9 @@
 # Usage: scripts/bench_compare.sh [--update]
 #
 # Reads the committed throughput baselines from BENCH_kernel.json
-# (`kernel/events_per_steady_second_128` and
-# `testnet/wire_msgs_per_quarter_second_8`), re-runs the benchmark suite
+# (`kernel/events_per_steady_second_128` and the headline
+# `testnet_msgs_per_sec`, the best point on the 64-node shard-scaling
+# curve), re-runs the benchmark suite
 # (which rewrites BENCH_kernel.json), and fails if fresh throughput fell
 # more than 25% below either baseline. The testnet gate is advisory where
 # loopback sockets cannot be bound (the bench reports null there) — the
@@ -17,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 KERNEL_ID="kernel/events_per_steady_second_128"
-TESTNET_ID="testnet/wire_msgs_per_quarter_second_8"
+TESTNET_KEY="testnet_msgs_per_sec"
 FILE="BENCH_kernel.json"
 MAX_REGRESSION=0.25
 
@@ -27,6 +28,16 @@ rate_from() {
         index($0, "\"" id "\"") {
             if (match($0, /"rate_per_sec": *[0-9.]+/)) {
                 print substr($0, RSTART + 16, RLENGTH - 16)
+            }
+        }' "$2"
+}
+
+# Extracts a top-level numeric field $1 from JSON file $2 (null -> empty).
+field_from() {
+    awk -v key="$1" '
+        index($0, "\"" key "\":") {
+            if (match($0, /[0-9][0-9.]*/)) {
+                print substr($0, RSTART, RLENGTH)
             }
         }' "$2"
 }
@@ -56,7 +67,7 @@ if [[ -z "$kernel_baseline" ]]; then
     echo "error: $KERNEL_ID not found in committed $FILE" >&2
     exit 1
 fi
-testnet_baseline=$(rate_from "$TESTNET_ID" "$FILE")
+testnet_baseline=$(field_from "$TESTNET_KEY" "$FILE")
 
 keep_baseline=$(mktemp)
 cp "$FILE" "$keep_baseline"
@@ -65,7 +76,7 @@ echo "==> running cargo bench -p gocast-bench (rewrites $FILE)"
 cargo bench -p gocast-bench
 
 kernel_fresh=$(rate_from "$KERNEL_ID" "$FILE")
-testnet_fresh=$(rate_from "$TESTNET_ID" "$FILE")
+testnet_fresh=$(field_from "$TESTNET_KEY" "$FILE")
 if [[ -z "$kernel_fresh" ]]; then
     cp "$keep_baseline" "$FILE"; rm -f "$keep_baseline"
     echo "error: $KERNEL_ID missing from fresh bench output" >&2
@@ -76,11 +87,11 @@ failed=0
 gate "$KERNEL_ID" "$kernel_baseline" "$kernel_fresh" || failed=1
 
 if [[ -z "$testnet_baseline" ]]; then
-    echo "==> $TESTNET_ID: no committed baseline; skipping wire gate"
+    echo "==> $TESTNET_KEY: no committed baseline; skipping wire gate"
 elif [[ -z "$testnet_fresh" ]]; then
-    echo "==> $TESTNET_ID: loopback unavailable in this run; skipping wire gate"
+    echo "==> $TESTNET_KEY: loopback unavailable in this run; skipping wire gate"
 else
-    gate "$TESTNET_ID" "$testnet_baseline" "$testnet_fresh" || failed=1
+    gate "$TESTNET_KEY" "$testnet_baseline" "$testnet_fresh" || failed=1
 fi
 
 if [[ "${1:-}" == "--update" ]]; then

@@ -89,4 +89,28 @@ cargo run --release -q -p gocast-experiments -- testnet --nodes 12 \
 cargo run --release -q -p gocast-experiments -- testnet --nodes 12 \
     --messages 100 --scenario partition --no-csv
 
+echo "==> batched sharded wire path (syscall batching live under conformance)"
+# Runs the conformance workload on two event-loop shards and asserts the
+# batch path actually engaged: conformance PASS plus a nonzero
+# syscalls_saved count on the greppable `fabric:` line. Skipped where
+# loopback is unavailable (the subcommand exits 0 without printing the
+# fabric line).
+SHARD_OUT=$(cargo run --release -q -p gocast-experiments -- testnet \
+    --nodes 12 --messages 100 --shards 2 --no-csv)
+if echo "$SHARD_OUT" | grep -q '^fabric:'; then
+    echo "$SHARD_OUT" | grep '^fabric:'
+    echo "$SHARD_OUT" | grep -q '^conformance: PASS' \
+        || { echo "FAIL: sharded conformance did not pass" >&2; exit 1; }
+    echo "$SHARD_OUT" | grep '^fabric:' | grep -Eq 'syscalls_saved=[1-9]' \
+        || { echo "FAIL: sharded run saved no syscalls (batching inactive)" >&2; exit 1; }
+else
+    echo "==> skipped (loopback unavailable)"
+fi
+
+echo "==> portable (non-mmsg) wire path fallback"
+# The same conformance workload with GOCAST_FABRIC_PORTABLE forcing the
+# sendto/recv_from fallback: correctness must not depend on sendmmsg.
+GOCAST_FABRIC_PORTABLE=1 cargo run --release -q -p gocast-experiments -- \
+    testnet --nodes 12 --messages 100 --shards 2 --no-csv
+
 echo "All checks passed."
