@@ -9,8 +9,11 @@ use std::time::Duration;
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use gocast::{GoCastConfig, GoCastNode};
 use gocast_analysis::{diameter, largest_component_fraction, Cdf};
-use gocast_net::{king_like, synthetic_king, SyntheticKingConfig};
-use gocast_sim::{EventQueue, LatencyModel, NodeId, SimBuilder, SimTime, TraceRecorder};
+use gocast_net::{king_like, synthetic_king, OnDemandKing, SyntheticKingConfig};
+use gocast_sim::{
+    EventQueue, LatencyModel, NodeId, NullRecorder, ShardedSimBuilder, SimBuilder, SimTime,
+    TraceRecorder,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -221,6 +224,40 @@ fn bench_kernel_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sharded-kernel event throughput at experiment scale: a 10,000-node
+/// GoCast overlay on the O(sites)-memory [`OnDemandKing`] latency model,
+/// driven through [`gocast_sim::ShardedSim`]'s window loop in steady
+/// state. This is the scaling-path headline (`kernel_scale_events_per_sec`
+/// in `BENCH_kernel.json`): the single-kernel number above measures the
+/// classic event loop, this one measures the lane-decomposed loop the
+/// `scale` subcommand uses for 10⁵–10⁶-node runs. Serial (1 worker) so
+/// the number is comparable across hosts with different core counts.
+fn bench_sharded_kernel(c: &mut Criterion) {
+    const NODES: usize = 10_000;
+    let mut g = c.benchmark_group("kernel_scale");
+    g.sample_size(10);
+    let net = OnDemandKing::paper_default(NODES, 11 ^ 0x4B494E47);
+    let mut boot = gocast::bootstrap_random_graph(NODES, 3, 11 ^ 0xB007);
+    let mut sim = ShardedSimBuilder::new(net)
+        .seed(11)
+        .build_with(NullRecorder, |id| {
+            let (links, members) = boot(id);
+            GoCastNode::with_initial_links(id, GoCastConfig::default(), links, members)
+        });
+    sim.run_until(SimTime::from_secs(30));
+    let before = sim.kernel_stats().events_processed;
+    sim.run_for(Duration::from_secs(1));
+    let events_per_sim_sec = sim.kernel_stats().events_processed - before;
+    g.throughput(Throughput::Elements(events_per_sim_sec));
+    g.bench_function("sharded_events_per_steady_second_10k", |b| {
+        b.iter(|| {
+            sim.run_for(Duration::from_secs(1));
+            sim.kernel_stats().events_processed
+        })
+    });
+    g.finish();
+}
+
 /// Wire throughput of the loopback deployment fabric under saturating
 /// offered load: how many GoCast protocol messages per wall-clock second
 /// a 64-node testnet moves through real UDP sockets when every slice
@@ -331,7 +368,8 @@ criterion_group! {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
     targets = bench_event_queue, bench_latency_models, bench_gocast_sim,
-        bench_kernel_throughput, bench_testnet, bench_analysis
+        bench_kernel_throughput, bench_sharded_kernel, bench_testnet,
+        bench_analysis
 }
 
 /// JSON string escaping is unnecessary for our ASCII benchmark ids, but
@@ -376,6 +414,10 @@ fn main() {
     json.push_str(&format!(
         "  \"kernel_events_per_sec_metrics\": {},\n",
         rate_of("kernel/events_per_steady_second_128_metrics"),
+    ));
+    json.push_str(&format!(
+        "  \"kernel_scale_events_per_sec\": {},\n",
+        rate_of("kernel_scale/sharded_events_per_steady_second_10k"),
     ));
     // Headline wire number: the best point on the shard-scaling curve,
     // plus which shard count achieved it (hardware-dependent).

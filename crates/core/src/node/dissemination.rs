@@ -308,13 +308,13 @@ impl GoCastNode {
             n.degrees = degrees;
         }
         if !coords.is_empty() {
-            self.coord_cache.insert(from, coords);
+            self.cache_coords(from, coords);
         }
         for (id, c) in members {
             if id != self.id {
                 self.view.insert(id, ctx.rng());
                 if !c.is_empty() {
-                    self.coord_cache.insert(id, c);
+                    self.cache_coords(id, c);
                 }
             }
         }

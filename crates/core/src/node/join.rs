@@ -110,7 +110,7 @@ impl GoCastNode {
             }
             self.view.insert(id, ctx.rng());
             if !coords.is_empty() {
-                self.coord_cache.insert(id, coords);
+                self.cache_coords(id, coords);
             }
         }
         // Random links first (connectivity insurance).

@@ -225,7 +225,7 @@ impl GoCastNode {
     ) {
         let rtt_us = Self::now_us(ctx).saturating_sub(sent_at_us);
         if !coords.is_empty() {
-            self.coord_cache.insert(from, coords);
+            self.cache_coords(from, coords);
         }
         match kind {
             ProbeKind::Landmark(i) => {

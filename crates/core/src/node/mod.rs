@@ -116,6 +116,8 @@ pub struct GoCastNode {
     pub(crate) initial_members: Vec<NodeId>,
     pub(crate) view: MemberView,
     pub(crate) coords: LandmarkVector,
+    /// Cached landmark coordinates of peers, bounded by
+    /// [`COORD_CACHE_CAP`].
     pub(crate) coord_cache: FxHashMap<NodeId, LandmarkVector>,
     pub(crate) neighbors: BTreeMap<NodeId, Neighbor>,
     pub(crate) pending_link: Option<PendingLink>,
@@ -147,7 +149,24 @@ pub struct GoCastNode {
     pub(crate) counters: crate::types::ProtocolCounters,
 }
 
+/// Upper bound on cached peer coordinates per node. The cache serves RTT
+/// estimation for the node's *own* candidates — view members (capacity
+/// 128) and neighbors — so this cap is never approached in normal
+/// operation; it exists to bound per-node memory at 10⁵–10⁶-node scale,
+/// where gossip under heavy churn would otherwise accrete coordinates for
+/// every peer ever mentioned.
+pub(crate) const COORD_CACHE_CAP: usize = 4096;
+
 impl GoCastNode {
+    /// Caches `coords` for `id`, refreshing an existing entry but refusing
+    /// to grow the cache past [`COORD_CACHE_CAP`].
+    pub(crate) fn cache_coords(&mut self, id: NodeId, coords: LandmarkVector) {
+        if self.coord_cache.len() >= COORD_CACHE_CAP && !self.coord_cache.contains_key(&id) {
+            return;
+        }
+        self.coord_cache.insert(id, coords);
+    }
+
     /// Creates a node that bootstraps from `members` (its initial partial
     /// view) with no pre-established links; it will join through the
     /// overlay maintenance protocols.

@@ -25,6 +25,7 @@ pub mod metrics_view;
 mod options;
 pub mod report;
 pub mod runners;
+pub mod scale;
 pub mod sweep;
 pub mod testnet;
 

@@ -30,6 +30,12 @@
 //! testnet sim-vs-wire conformance: the same workload through the
 //!         simulator and through real loopback-UDP nodes (wall-clock
 //!         defaults: 16 nodes, 200 messages; accepts --scenario/--spec)
+//! scale   10⁵-node-default runs on the sharded kernel (`--sim-shards N`
+//!         worker threads, O(1)-memory latency model): a fig3-style
+//!         delivery run plus one chaos preset, printing the scaling row
+//!         (events/s, self-reported queue memory, peak RSS); accepts
+//!         --scenario/--spec (default `catastrophe`), defaults --nodes
+//!         to 100,000
 //! metrics instrumented quick run rendering every subsystem's telemetry
 //!         tables; `metrics --overhead` measures the instrumentation
 //!         cost and fails if it exceeds the 5% budget
@@ -56,7 +62,9 @@
 //! stack `chaos` drives — default gocast, the historic behavior —
 //! ignored by `compare`, which always runs both), `--shards N`
 //! (`testnet` only: partition the wire-side fabric across N event-loop
-//! threads; default 1 reproduces the single-threaded fabric).
+//! threads; default 1 reproduces the single-threaded fabric),
+//! `--sim-shards N` (`scale` only: worker threads *inside* the one
+//! sharded simulation; every artifact is byte-identical at any value).
 
 use std::time::Duration;
 
@@ -64,9 +72,9 @@ use gocast_experiments::{figures, ExpOptions, StackKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|compare|testnet|metrics|all> \
+        "usage: gocast-experiments <fig1|fig3a|fig3b|fig4|fig5a|fig5b|fig6|ext1|ext2|ext3|ext4|ext5|txt1|txt2|txt4|ablate|adaptive|sweep|trace|trace-fail|chaos|compare|testnet|scale|metrics|all> \
          [--quick] [--nodes N] [--seed S] [--warmup SECS] [--messages M] [--rate R] [--drain SECS] [--out DIR] [--no-csv] [--trace-out PATH] [--metrics-out PATH] [--jobs N] \
-         [--scenario NAME] [--spec STR] [--seeds K] [--stack gocast|plumtree] [--shards N] [--overhead]"
+         [--scenario NAME] [--spec STR] [--seeds K] [--stack gocast|plumtree] [--shards N] [--sim-shards N] [--overhead]"
     );
     std::process::exit(2);
 }
@@ -81,9 +89,19 @@ struct CliArgs {
     overhead: bool,
 }
 
-fn parse_opts(args: &[String]) -> CliArgs {
-    let mut opts = ExpOptions::default();
-    let mut scenario = String::from("churn");
+fn parse_opts(args: &[String], scale: bool) -> CliArgs {
+    // `scale` starts from its own full-scale preset (10⁵ nodes, a
+    // minutes-not-hours workload); every explicit flag still overrides.
+    let mut opts = if scale {
+        ExpOptions::scale()
+    } else {
+        ExpOptions::default()
+    };
+    // `scale` defaults to the deterministic site-catastrophe preset:
+    // Poisson churn can legitimately compile to an empty plan on a short
+    // window (seed 42 does exactly that), and the scale exit artifact
+    // must actually exercise faults.
+    let mut scenario = String::from(if scale { "catastrophe" } else { "churn" });
     let mut spec = None;
     let mut seeds = 1u64;
     let mut overhead = false;
@@ -105,9 +123,11 @@ fn parse_opts(args: &[String]) -> CliArgs {
             "--quick" => {
                 let keep_out = opts.out_dir.clone();
                 let keep_stack = opts.stack;
+                let keep_sim_shards = opts.sim_shards;
                 opts = ExpOptions::quick();
                 opts.out_dir = keep_out;
                 opts.stack = keep_stack;
+                opts.sim_shards = keep_sim_shards;
             }
             "--nodes" => explicit_nodes = Some(take("--nodes").parse().expect("--nodes")),
             "--seed" => opts.seed = take("--seed").parse().expect("--seed"),
@@ -126,6 +146,7 @@ fn parse_opts(args: &[String]) -> CliArgs {
             "--overhead" => overhead = true,
             "--jobs" => explicit_jobs = Some(take("--jobs").parse().expect("--jobs")),
             "--shards" => opts.shards = take("--shards").parse().expect("--shards"),
+            "--sim-shards" => opts.sim_shards = take("--sim-shards").parse().expect("--sim-shards"),
             "--scenario" => scenario = take("--scenario"),
             "--spec" => spec = Some(take("--spec")),
             "--seeds" => seeds = take("--seeds").parse().expect("--seeds"),
@@ -158,6 +179,10 @@ fn parse_opts(args: &[String]) -> CliArgs {
         eprintln!("--shards must be at least 1");
         usage()
     }
+    if opts.sim_shards == 0 {
+        eprintln!("--sim-shards must be at least 1");
+        usage()
+    }
     CliArgs {
         opts,
         scenario,
@@ -170,7 +195,7 @@ fn parse_opts(args: &[String]) -> CliArgs {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(exp) = args.first() else { usage() };
-    let cli = parse_opts(&args[1..]);
+    let cli = parse_opts(&args[1..], exp == "scale");
     let opts = cli.opts.clone();
     let quick = args.iter().any(|a| a == "--quick");
 
@@ -311,6 +336,13 @@ fn main() {
             if violations > 0 {
                 eprintln!("done in {:?}", t0.elapsed());
                 std::process::exit(1);
+            }
+        }
+        "scale" => {
+            let code = gocast_experiments::scale::scale(&opts, &cli.scenario, cli.spec.as_deref());
+            if code != 0 {
+                eprintln!("done in {:?}", t0.elapsed());
+                std::process::exit(code);
             }
         }
         "metrics" => {

@@ -82,6 +82,12 @@ pub struct ExpOptions {
     /// `testnet` subcommand). 1 (the default) is the single-threaded
     /// fabric; simulation subcommands ignore it.
     pub shards: usize,
+    /// Worker threads *inside one simulation* for the sharded kernel
+    /// (`--sim-shards N` on the `scale` subcommand). Unlike `jobs`
+    /// (which fans independent runs out) this parallelizes a single run;
+    /// the sharded kernel's fixed-lane design keeps results byte-identical
+    /// at any value. 1 (the default) is the fully serial window loop.
+    pub sim_shards: usize,
 }
 
 impl Default for ExpOptions {
@@ -100,6 +106,7 @@ impl Default for ExpOptions {
             jobs: 1,
             stack: StackKind::GoCast,
             shards: 1,
+            sim_shards: 1,
         }
     }
 }
@@ -124,6 +131,31 @@ impl ExpOptions {
             jobs: 1,
             stack: StackKind::GoCast,
             shards: 1,
+            sim_shards: 1,
+        }
+    }
+
+    /// The `scale` subcommand's full-scale preset: 10⁵ nodes on the
+    /// sharded kernel with an injection workload sized so the run
+    /// finishes in minutes rather than hours. `--nodes`, `--warmup`,
+    /// `--messages`, `--rate`, `--drain`, and `--sim-shards` all override
+    /// individual fields; `--quick` replaces the preset wholesale.
+    pub fn scale() -> Self {
+        ExpOptions {
+            nodes: 100_000,
+            sites: 1740,
+            seed: 42,
+            warmup: Duration::from_secs(60),
+            messages: 20,
+            rate: 2.0,
+            drain: Duration::from_secs(30),
+            out_dir: Some(PathBuf::from("results")),
+            trace_out: None,
+            metrics_out: None,
+            jobs: 1,
+            stack: StackKind::GoCast,
+            shards: 1,
+            sim_shards: 1,
         }
     }
 
@@ -148,6 +180,12 @@ impl ExpOptions {
     /// Sets the worker-thread count (builder style).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the sharded-kernel worker-thread count (builder style).
+    pub fn with_sim_shards(mut self, sim_shards: usize) -> Self {
+        self.sim_shards = sim_shards.max(1);
         self
     }
 
@@ -258,6 +296,16 @@ mod tests {
         assert_eq!(m.nodes, 128);
         assert_eq!(m.scenario.as_deref(), Some("churn"));
         assert!(m.csv_comment().starts_with("# gocast-run git="));
+    }
+
+    #[test]
+    fn scale_preset_targets_the_sharded_kernel() {
+        let s = ExpOptions::scale();
+        assert_eq!(s.nodes, 100_000);
+        assert_eq!(s.sim_shards, 1, "serial by default; --sim-shards opts in");
+        assert!(s.inject_duration() <= Duration::from_secs(10));
+        assert_eq!(ExpOptions::scale().with_sim_shards(0).sim_shards, 1);
+        assert_eq!(ExpOptions::scale().with_sim_shards(4).sim_shards, 4);
     }
 
     #[test]

@@ -523,6 +523,7 @@ mod tests {
             jobs: 1,
             stack: StackKind::GoCast,
             shards: 1,
+            sim_shards: 1,
         }
     }
 

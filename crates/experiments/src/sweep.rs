@@ -13,70 +13,16 @@
 //! sensitive a result is to the random inputs, something the paper
 //! (single dataset, unspecified repetition count) cannot show.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
-
 use gocast_analysis::Summary;
 
 use crate::options::ExpOptions;
 
-/// Applies `f` to every item, fanning work across at most `jobs` worker
-/// threads, and returns the results **in item order** regardless of which
-/// worker finished when.
-///
-/// `f` receives `(index, item)` and must be deterministic per item for
-/// output to be independent of `jobs`. With `jobs <= 1` (or a single
-/// item) everything runs inline on the caller's thread — the fully serial
-/// path, with no thread machinery at all.
-///
-/// Workers pull items from a shared queue, so long and short runs load-
-/// balance; there is no per-item thread spawn.
-///
-/// # Panics
-///
-/// Panics if a worker panics (the panic is propagated).
-pub fn parallel_map<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(usize, I) -> T + Sync,
-{
-    let workers = jobs.max(1).min(items.len());
-    if workers <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| f(i, item))
-            .collect();
-    }
-    let n_items = items.len();
-    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n_items);
-    std::thread::scope(|scope| {
-        let queue = &queue;
-        let f = &f;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let next = queue.lock().expect("queue lock").pop_front();
-                        match next {
-                            Some((i, item)) => out.push((i, f(i, item))),
-                            None => break,
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            indexed.extend(h.join().expect("parallel_map worker panicked"));
-        }
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, v)| v).collect()
-}
+// `parallel_map` moved into `gocast-sim` when the sharded kernel arrived:
+// the per-seed experiment fan-out and the kernel's intra-run parallelism
+// now share one audited implementation. Re-exported here so experiment
+// code (and the `jobs_do_not_change_csv_output` guarantees built on it)
+// keep their historic import path.
+pub use gocast_sim::parallel_map;
 
 /// Runs `f(opts-with-seed)` for `seeds` consecutive seeds starting at the
 /// option set's base seed — across `opts.jobs` worker threads — and

@@ -1,0 +1,137 @@
+//! Memory-boundedness proof for the sharded scale path.
+//!
+//! A counting global allocator tracks the peak number of *live* heap
+//! bytes across all threads (the sharded kernel's workers included).
+//! The scale runs must stay within an O(nodes) envelope: the
+//! [`gocast_net::OnDemandKing`] latency model is O(sites), the lane
+//! queues recycle payload slots, and per-node protocol state is bounded
+//! (member view capacity, coordinate-cache cap) — so peak memory must
+//! not bend toward the O(nodes²) a latency matrix or unbounded caches
+//! would cost.
+//!
+//! This file is its own test binary so the global allocator sees only
+//! the workload under measurement. The 10⁵-node smoke is `#[ignore]`d —
+//! debug-mode at that scale takes minutes; `scripts/check.sh` covers
+//! 10⁴ nodes through the release CLI instead — run it explicitly with
+//! `cargo test -p gocast-experiments --test scale_alloc -- --ignored`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use gocast_experiments::scale::{run_scale_delivery, ScaleOutcome};
+use gocast_experiments::ExpOptions;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc(bytes: usize) {
+    let live = LIVE.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn note_free(bytes: usize) {
+    LIVE.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
+
+struct TrackingAlloc;
+
+// SAFETY: defers to `System` for every operation; only bumps atomic
+// counters (no allocation, no drop glue) on the way through.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            note_free(layout.size());
+            note_alloc(new_size);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        note_free(layout.size());
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: TrackingAlloc = TrackingAlloc;
+
+fn peak_heap_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+fn scale_opts(nodes: usize) -> ExpOptions {
+    let mut o = ExpOptions::quick().with_sim_shards(2);
+    o.nodes = nodes;
+    o.sites = 1740.min(nodes);
+    o.warmup = Duration::from_secs(20);
+    o.messages = 4;
+    o.rate = 2.0;
+    o.drain = Duration::from_secs(20);
+    o
+}
+
+fn assert_clean_and_bounded(out: &ScaleOutcome, cap_bytes: u64) {
+    assert_eq!(
+        out.violations, 0,
+        "oracle violations: {:?}",
+        out.violation_lines
+    );
+    assert!(
+        out.delivery_ratio() > 0.95,
+        "delivery ratio {} too low",
+        out.delivery_ratio()
+    );
+    let peak = peak_heap_bytes();
+    assert!(
+        peak < cap_bytes,
+        "peak live heap {} MiB exceeds the {} MiB envelope for {} nodes",
+        peak >> 20,
+        cap_bytes >> 20,
+        out.nodes
+    );
+    // The kernel's self-reported occupancy is live and plausible: some
+    // slab slots were created, and the queue accounts nonzero bytes that
+    // fit inside the measured process-wide peak.
+    assert!(out.kernel.slab_slots > 0);
+    assert!(out.kernel.queue_mem_bytes > 0);
+    assert!(out.kernel.queue_mem_bytes < peak);
+}
+
+#[test]
+fn two_thousand_node_scale_run_stays_bounded() {
+    let out = run_scale_delivery(&scale_opts(2_000));
+    // ~2k nodes cost tens of MiB; a 2000² latency table alone would be
+    // 16 MiB and the matching per-node caches far more. 512 MiB is the
+    // generous O(nodes) envelope.
+    assert_clean_and_bounded(&out, 512 << 20);
+}
+
+/// The 10⁵-node smoke (ignored: minutes of debug-mode runtime).
+#[test]
+#[ignore = "10^5-node debug run takes minutes; check.sh smokes 10^4 via the release CLI"]
+fn hundred_thousand_node_scale_run_stays_bounded() {
+    let mut o = scale_opts(100_000);
+    o.warmup = Duration::from_secs(30);
+    // A 10⁵-node latency matrix would be 40 GB; the O(nodes) budget is
+    // 8 GiB (per-node protocol state dominates).
+    let out = run_scale_delivery(&o);
+    assert_clean_and_bounded(&out, 8 << 30);
+}

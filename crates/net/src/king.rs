@@ -106,6 +106,33 @@ fn std_normal(rng: &mut SmallRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
+/// Places `sites` site positions in the continent clusters (shared by the
+/// matrix generator and the on-demand model, so both draw from the same
+/// spatial distribution).
+pub(crate) fn place_sites(rng: &mut SmallRng, sites: usize) -> Vec<(f64, f64)> {
+    let mut positions = Vec::with_capacity(sites);
+    for c in &CLUSTERS {
+        let count = (c.weight * sites as f64).round() as usize;
+        for _ in 0..count {
+            positions.push((
+                c.center.0 + c.sigma * std_normal(rng),
+                c.center.1 + c.sigma * std_normal(rng),
+            ));
+        }
+    }
+    // Rounding may leave us short or long; pad with the largest cluster /
+    // truncate.
+    while positions.len() < sites {
+        let c = &CLUSTERS[0];
+        positions.push((
+            c.center.0 + c.sigma * std_normal(rng),
+            c.center.1 + c.sigma * std_normal(rng),
+        ));
+    }
+    positions.truncate(sites);
+    positions
+}
+
 /// Generates a calibrated clustered latency matrix with `nodes` simulated
 /// nodes assigned round-robin over a seeded shuffle of the sites.
 ///
@@ -133,26 +160,7 @@ pub fn synthetic_king(nodes: usize, cfg: &SyntheticKingConfig) -> SiteLatencyMat
     let sites = cfg.sites;
 
     // Place sites in clusters.
-    let mut positions = Vec::with_capacity(sites);
-    for c in &CLUSTERS {
-        let count = (c.weight * sites as f64).round() as usize;
-        for _ in 0..count {
-            positions.push((
-                c.center.0 + c.sigma * std_normal(&mut rng),
-                c.center.1 + c.sigma * std_normal(&mut rng),
-            ));
-        }
-    }
-    // Rounding may leave us short or long; pad with the largest cluster /
-    // truncate.
-    while positions.len() < sites {
-        let c = &CLUSTERS[0];
-        positions.push((
-            c.center.0 + c.sigma * std_normal(&mut rng),
-            c.center.1 + c.sigma * std_normal(&mut rng),
-        ));
-    }
-    positions.truncate(sites);
+    let positions = place_sites(&mut rng, sites);
 
     // Raw latencies: last-mile base + propagation + multiplicative jitter.
     let mut raw = vec![0f64; sites * sites];

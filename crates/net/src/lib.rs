@@ -30,8 +30,10 @@ mod astopo;
 mod estimate;
 mod king;
 mod matrix;
+mod ondemand;
 
 pub use astopo::{geographic_site_assignment, AsTopology, LinkStress};
 pub use estimate::{LandmarkVector, DEFAULT_LANDMARKS, MAX_LANDMARKS};
 pub use king::{king_like, synthetic_king, two_continents, SyntheticKingConfig};
 pub use matrix::SiteLatencyMatrix;
+pub use ondemand::OnDemandKing;

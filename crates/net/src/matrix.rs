@@ -120,6 +120,21 @@ impl LatencyModel for SiteLatencyMatrix {
     fn len(&self) -> usize {
         self.node_site.len()
     }
+
+    fn lookahead(&self) -> Option<Duration> {
+        // The smallest latency any two distinct nodes can see: co-located
+        // nodes pay `intra_site`, everyone else some nonzero table entry.
+        let min_pair = self
+            .lat_us
+            .iter()
+            .copied()
+            .filter(|&us| us > 0)
+            .min()
+            .map(|us| Duration::from_micros(us as u64))
+            .unwrap_or(self.intra_site);
+        let bound = min_pair.min(self.intra_site);
+        (bound > Duration::ZERO).then_some(bound)
+    }
 }
 
 #[cfg(test)]

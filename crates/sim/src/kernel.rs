@@ -53,6 +53,15 @@ pub struct KernelStats {
     pub queue_len: usize,
     /// Highest queue depth observed at any step.
     pub queue_high_water: usize,
+    /// Payload slots ever created in the event-queue slab — the
+    /// high-water mark of *concurrently pending* events (occupied plus the
+    /// recycled free list). Once this stops growing, steady-state
+    /// scheduling no longer allocates.
+    pub slab_slots: usize,
+    /// Bytes of backing storage the event queue currently reserves (heap
+    /// entries + payload slab + free list). Self-reported, so scaling
+    /// tables need no external process inspection.
+    pub queue_mem_bytes: u64,
     /// Wall-clock time spent inside the run loops.
     pub wall_time: std::time::Duration,
 }
@@ -73,6 +82,28 @@ impl KernelStats {
         } else {
             self.events_processed as f64 / secs
         }
+    }
+
+    /// Folds another kernel's counters into this one — the sharded
+    /// kernel's per-lane aggregation. Monotonic counters and memory sizes
+    /// add; the high-water marks take the per-lane maximum (a lane-local
+    /// depth, not a global instant); wall time takes the maximum because
+    /// lanes run concurrently.
+    pub fn absorb(&mut self, other: &KernelStats) {
+        self.events_processed += other.events_processed;
+        self.deliveries += other.deliveries;
+        self.messages_dropped += other.messages_dropped;
+        self.partition_drops += other.partition_drops;
+        self.chaos_losses += other.chaos_losses;
+        self.timers_fired += other.timers_fired;
+        self.commands += other.commands;
+        self.control_events += other.control_events;
+        self.events_scheduled += other.events_scheduled;
+        self.queue_len += other.queue_len;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.slab_slots += other.slab_slots;
+        self.queue_mem_bytes += other.queue_mem_bytes;
+        self.wall_time = self.wall_time.max(other.wall_time);
     }
 }
 
@@ -229,7 +260,7 @@ pub(crate) struct NetFaults {
 }
 
 impl NetFaults {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         NetFaults {
             loss_ppm: 0,
             jitter_ns: 0,
@@ -319,7 +350,7 @@ impl SimBuilder {
         F: FnMut(NodeId) -> P,
     {
         let n = self.net.len();
-        let nodes = (0..n).map(|i| Some(make(NodeId::new(i as u32)))).collect();
+        let nodes = (0..n).map(|i| make(NodeId::new(i as u32))).collect();
         let rngs = (0..n)
             .map(|i| SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9e3779b97f4a7c15) ^ i as u64))
             .collect();
@@ -360,7 +391,9 @@ impl SimBuilder {
 /// A deterministic discrete-event simulation of `n` protocol instances.
 pub struct Sim<P: Protocol, R: Recorder<P::Event> = NullRecorder> {
     now: SimTime,
-    nodes: Vec<Option<P>>,
+    /// Protocol state, arena-style: one dense slot per node, never moved
+    /// after construction (dispatch split-borrows the slot in place).
+    nodes: Vec<P>,
     alive: Vec<bool>,
     rngs: Vec<SmallRng>,
     queue: EventQueue<KernelEvent<P::Msg, P::Command>>,
@@ -379,7 +412,7 @@ pub struct Sim<P: Protocol, R: Recorder<P::Event> = NullRecorder> {
     started: bool,
 }
 
-fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+pub(crate) fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     if a <= b {
         (a, b)
     } else {
@@ -396,21 +429,21 @@ fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 /// none of SipHash's per-lookup hashing, and iteration order (hence any
 /// derived behaviour) is deterministic.
 #[derive(Debug, Default)]
-struct LinkSet(Vec<(NodeId, NodeId)>);
+pub(crate) struct LinkSet(Vec<(NodeId, NodeId)>);
 
 impl LinkSet {
     #[inline]
-    fn contains(&self, key: (NodeId, NodeId)) -> bool {
+    pub(crate) fn contains(&self, key: (NodeId, NodeId)) -> bool {
         !self.0.is_empty() && self.0.binary_search(&key).is_ok()
     }
 
-    fn insert(&mut self, key: (NodeId, NodeId)) {
+    pub(crate) fn insert(&mut self, key: (NodeId, NodeId)) {
         if let Err(i) = self.0.binary_search(&key) {
             self.0.insert(i, key);
         }
     }
 
-    fn remove(&mut self, key: (NodeId, NodeId)) {
+    pub(crate) fn remove(&mut self, key: (NodeId, NodeId)) {
         if let Ok(i) = self.0.binary_search(&key) {
             self.0.remove(i);
         }
@@ -459,21 +492,13 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
 
     /// Immutable access to a node's protocol state (available even after the
     /// node failed — useful for post-mortem analysis).
-    ///
-    /// # Panics
-    ///
-    /// Panics if called from within a handler for that same node.
     pub fn node(&self, node: NodeId) -> &P {
-        self.nodes[node.index()]
-            .as_ref()
-            .expect("node is currently executing a handler")
+        &self.nodes[node.index()]
     }
 
     /// Mutable access to a node's protocol state (test/ harness use).
     pub fn node_mut(&mut self, node: NodeId) -> &mut P {
-        self.nodes[node.index()]
-            .as_mut()
-            .expect("node is currently executing a handler")
+        &mut self.nodes[node.index()]
     }
 
     /// Iterates over `(id, state)` for every node.
@@ -481,7 +506,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         self.nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| (NodeId::new(i as u32), n.as_ref().expect("node in handler")))
+            .map(|(i, n)| (NodeId::new(i as u32), n))
     }
 
     /// The latency model driving this simulation.
@@ -505,6 +530,8 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         k.queue_len = self.queue.len();
         k.events_scheduled = self.queue.scheduled_total();
         k.chaos_losses = self.faults.losses;
+        k.slab_slots = self.queue.slab_slots();
+        k.queue_mem_bytes = self.queue.mem_bytes();
         k
     }
 
@@ -546,6 +573,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         let slots = self.queue.slab_slots();
         let occupied = slots - self.queue.free_slots();
         s.record_level("kernel_slab_occupied", occupied as i64, slots as i64);
+        s.record_counter("kernel_queue_mem_bytes", self.queue.mem_bytes());
         if self.telemetry.enabled {
             s.record_histogram("kernel_queue_depth", &self.telemetry.queue_depth);
             for class in EventClass::ALL {
@@ -1013,7 +1041,7 @@ impl<P: Protocol, R: Recorder<P::Event>> Sim<P, R> {
         // disjoint fields of `self`, so the node stays in place — no
         // whole-struct move in and out of the slot per dispatched event.
         let i = node.index();
-        let p = self.nodes[i].as_mut().expect("node exists");
+        let p = &mut self.nodes[i];
         let mut ctx = Ctx::for_sim(
             node,
             self.now,

@@ -30,6 +30,20 @@ pub trait LatencyModel {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A lower bound on the one-way latency between any two *distinct*
+    /// nodes, or `None` when the model cannot promise a positive bound.
+    ///
+    /// This is the conservative-parallel-simulation lookahead: the sharded
+    /// kernel ([`crate::ShardedSim`]) processes each lane independently for
+    /// a window of this length, because a message sent inside the window
+    /// cannot arrive at another lane before the window ends. Injected
+    /// jitter only *adds* latency, so the bound survives chaos. Models
+    /// that cannot promise a positive bound return `None` (the default)
+    /// and cannot drive the sharded kernel.
+    fn lookahead(&self) -> Option<Duration> {
+        None
+    }
 }
 
 /// Every pair of distinct nodes is separated by the same latency.
@@ -66,6 +80,10 @@ impl LatencyModel for FixedLatency {
 
     fn len(&self) -> usize {
         self.nodes
+    }
+
+    fn lookahead(&self) -> Option<Duration> {
+        (self.latency > Duration::ZERO).then_some(self.latency)
     }
 }
 
@@ -119,6 +137,10 @@ impl LatencyModel for HashedLatency {
 
     fn len(&self) -> usize {
         self.nodes
+    }
+
+    fn lookahead(&self) -> Option<Duration> {
+        (self.min_nanos > 0).then(|| Duration::from_nanos(self.min_nanos))
     }
 }
 

@@ -1,9 +1,17 @@
 //! # gocast-sim — deterministic discrete-event simulation kernel
 //!
 //! The execution substrate for the GoCast reproduction. Protocols are
-//! written **sans-IO** against the [`Protocol`] trait and driven by the
-//! [`Sim`] kernel: a single-threaded, fully deterministic discrete-event
-//! loop over a pluggable [`LatencyModel`].
+//! written **sans-IO** against the [`Protocol`] trait and driven by one
+//! of two kernels over a pluggable [`LatencyModel`]:
+//!
+//! - [`Sim`] — the single-threaded, fully deterministic discrete-event
+//!   loop every experiment historically ran on.
+//! - [`ShardedSim`] — the scale kernel: the node population is split
+//!   into fixed *lanes* ([`DEFAULT_LANES`]), events execute in
+//!   conservative lookahead windows, and the lanes fan across worker
+//!   threads. Thread count is pure execution policy — output is
+//!   byte-identical at any `threads` value, so 10⁵–10⁶-node runs can
+//!   use every core without giving up replay.
 //!
 //! The paper evaluates GoCast with exactly this style of simulator ("We
 //! built an event-driven simulator ... We do not simulate the network-level
@@ -64,9 +72,14 @@
 //!   seed and the node id, so a node's behaviour does not depend on how many
 //!   random draws *other* nodes made.
 //! - Protocol code has no access to wall-clock time or IO.
+//! - On [`ShardedSim`], node → lane assignment is a pure function of the
+//!   node id and the lane count (never the thread count), and lanes merge
+//!   cross-lane messages at window barriers in a canonical sort order —
+//!   so parallelism cannot reorder anything observable.
 //!
 //! Two runs with the same seed and topology produce byte-identical event
-//! traces; integration tests assert this.
+//! traces; integration tests assert this (including sharded runs at
+//! different thread counts).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -79,6 +92,7 @@ mod protocol;
 mod queue;
 pub mod recorder;
 pub mod scenario;
+mod shard;
 mod stack;
 mod stats;
 mod time;
@@ -92,8 +106,9 @@ pub use protocol::{Ctx, HostBackend, Protocol, Timer, Wire};
 pub use queue::{EventQueue, Scheduled};
 pub use recorder::{FilterRecorder, FnRecorder, NullRecorder, Recorder, TeeRecorder, VecRecorder};
 pub use scenario::{
-    Fault, PlannedFault, PresenceTimeline, Scenario, ScenarioEnv, ScenarioPlan, Split,
+    Fault, FaultSink, PlannedFault, PresenceTimeline, Scenario, ScenarioEnv, ScenarioPlan, Split,
 };
+pub use shard::{parallel_map, ShardedSim, ShardedSimBuilder, DEFAULT_LANES};
 pub use stack::{Stack, StackCaps};
 pub use stats::{ClassCounters, TrafficClass, TrafficStats};
 pub use time::SimTime;

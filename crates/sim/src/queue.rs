@@ -206,6 +206,15 @@ impl<T> EventQueue<T> {
         self.free.len()
     }
 
+    /// Bytes of backing storage currently reserved by the queue: the heap
+    /// entries, the payload slab, and the free list. Self-reported memory
+    /// accounting for the scaling experiments — no `ps` required.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.heap.capacity() * std::mem::size_of::<Entry>()
+            + self.slab.capacity() * std::mem::size_of::<Option<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         let moved = self.heap[i];
         while i > 0 {

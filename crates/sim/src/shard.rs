@@ -1,0 +1,1275 @@
+//! The sharded simulation kernel: conservative parallel discrete-event
+//! execution over fixed node *lanes*.
+//!
+//! [`Sim`](crate::Sim) is single-threaded; at 10⁵–10⁶ nodes one event loop
+//! becomes the wall-clock bottleneck long before memory does. [`ShardedSim`]
+//! splits the node population into a **fixed number of lanes** (node `g`
+//! lives in lane `g % lanes`), each with its own event queue, per-node RNG
+//! streams, traffic counters, and fault-state replicas, and executes them
+//! under the classic conservative-lookahead scheme:
+//!
+//! 1. The latency model promises a positive lower bound Δ on cross-node
+//!    latency ([`LatencyModel::lookahead`]). A message sent at any time
+//!    `t` inside a window `[w, w + Δ)` arrives at `t + latency ≥ w + Δ`,
+//!    i.e. **never inside the window** at another lane.
+//! 2. Each lane therefore processes its local events for one window with
+//!    no synchronization at all; sends to other lanes buffer in a
+//!    per-lane outbox.
+//! 3. At the window barrier the coordinator merges all outboxes in a
+//!    canonical order — `(arrival time, source lane, send order)` — and
+//!    schedules them into the destination lanes, then drains every lane's
+//!    buffered recorder events into the single global recorder, sorted by
+//!    `(time, lane, emission order)`.
+//!
+//! ## Determinism contract
+//!
+//! The *lane count* is part of the simulation's semantics: it decides the
+//! cross-lane merge order, so two runs agree byte-for-byte iff they use
+//! the same seed and lane count. The *thread count*
+//! ([`ShardedSimBuilder::threads`], the CLI's `--sim-shards`) is pure
+//! execution policy: lanes are data-independent within a window, so any
+//! thread count produces identical output by construction — the property
+//! the cross-shard determinism tests assert. This mirrors the testnet
+//! fabric's shard-merge proof (`gocast-testnet::shard`): sharded loops,
+//! stable time-sorted merge, canonical manifest.
+//!
+//! RNG streams are preserved exactly from the single-threaded kernel:
+//! node `g` draws from `seed * GOLDEN ^ g` regardless of which lane owns
+//! it. Only the chaos (loss/jitter) stream differs — each lane gets its
+//! own derived stream, so sharded chaos runs are internally deterministic
+//! but not byte-identical to `Sim` runs (no experiment requires that).
+//!
+//! ## What a lane replicates
+//!
+//! Link cuts, the loss/jitter fault state, and the partition labelling
+//! are *global* facts applied at delivery (or send) time, so each lane
+//! holds a replica, updated by broadcasting the corresponding control
+//! event into every lane's queue; the partition side vector is shared
+//! behind an [`Arc`]. Delivery-time checks are thus lane-local and the
+//! hot path takes no cross-lane locks.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::id::NodeId;
+use crate::kernel::{link_key, KernelStats, LinkSet, NetFaults, PastScheduleError};
+use crate::latency::LatencyModel;
+use crate::protocol::{Ctx, HostBackend, Protocol, Timer, Wire};
+use crate::queue::EventQueue;
+use crate::recorder::Recorder;
+use crate::scenario::FaultSink;
+use crate::stats::TrafficStats;
+use crate::time::SimTime;
+
+/// Lane-local event representation. Mirrors the single-threaded kernel's
+/// event set, with the partition sides shared instead of cloned per lane.
+#[derive(Debug)]
+enum LaneEvent<M, C> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Fire { node: NodeId, timer: Timer },
+    Command { node: NodeId, cmd: C },
+    Fail { node: NodeId },
+    SetLink { a: NodeId, b: NodeId, up: bool },
+    SetLoss { ppm: u32 },
+    SetJitter { nanos: u64 },
+    SetPartition { sides: Option<Arc<Vec<u32>>> },
+}
+
+/// A message crossing lanes, buffered until the window barrier.
+struct CrossLaneMsg<M> {
+    at: SimTime,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// One lane: a self-contained slice of the node population.
+struct Lane<P: Protocol> {
+    /// This lane's index in `0..lanes`.
+    index: u32,
+    /// Total lane count (for ownership tests on the send path).
+    lanes: u32,
+    /// Protocol state for owned nodes, dense by local index
+    /// (`global = local * lanes + index`).
+    nodes: Vec<P>,
+    alive: Vec<bool>,
+    rngs: Vec<SmallRng>,
+    queue: EventQueue<LaneEvent<P::Msg, P::Command>>,
+    stats: TrafficStats,
+    kernel: KernelStats,
+    faults: NetFaults,
+    failed_links: LinkSet,
+    partition: Option<Arc<Vec<u32>>>,
+    /// Cross-lane sends made this window, in send order.
+    outbox: Vec<CrossLaneMsg<P::Msg>>,
+    /// Recorder events emitted this window, in emission order.
+    events_out: Vec<(SimTime, NodeId, P::Event)>,
+}
+
+impl<P: Protocol> Lane<P> {
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        (node.as_u32() / self.lanes) as usize
+    }
+
+    #[inline]
+    fn partition_blocks(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            None => false,
+            Some(sides) => sides[a.index()] != sides[b.index()],
+        }
+    }
+
+    /// Runs every local event with `at <= end_inclusive`, buffering
+    /// cross-lane sends and recorder events.
+    fn run_window(&mut self, end_inclusive: SimTime, net: &dyn LatencyModel) {
+        loop {
+            let depth = self.queue.len();
+            if depth > self.kernel.queue_high_water {
+                self.kernel.queue_high_water = depth;
+            }
+            let Some(ev) = self.queue.pop_at_or_before(end_inclusive) else {
+                break;
+            };
+            self.kernel.events_processed += 1;
+            self.dispatch(ev.at, ev.payload, net);
+        }
+    }
+
+    fn dispatch(&mut self, at: SimTime, ev: LaneEvent<P::Msg, P::Command>, net: &dyn LatencyModel) {
+        match ev {
+            LaneEvent::Deliver { from, to, msg } => {
+                if !self.alive[self.local(to)] || self.failed_links.contains(link_key(from, to)) {
+                    self.kernel.messages_dropped += 1;
+                    self.stats.record_drop_to_dead();
+                } else if self.partition_blocks(from, to) {
+                    self.kernel.messages_dropped += 1;
+                    self.kernel.partition_drops += 1;
+                    self.stats.record_drop_to_dead();
+                } else {
+                    self.kernel.deliveries += 1;
+                    self.with_ctx(at, to, net, |p, ctx| p.on_message(ctx, from, msg));
+                }
+            }
+            LaneEvent::Fire { node, timer } => {
+                if self.alive[self.local(node)] {
+                    self.kernel.timers_fired += 1;
+                    self.with_ctx(at, node, net, |p, ctx| p.on_timer(ctx, timer));
+                }
+            }
+            LaneEvent::Command { node, cmd } => {
+                if self.alive[self.local(node)] {
+                    self.kernel.commands += 1;
+                    self.with_ctx(at, node, net, |p, ctx| p.on_command(ctx, cmd));
+                }
+            }
+            LaneEvent::Fail { node } => {
+                self.kernel.control_events += 1;
+                let l = self.local(node);
+                self.alive[l] = false;
+            }
+            LaneEvent::SetLink { a, b, up } => {
+                self.kernel.control_events += 1;
+                if up {
+                    self.failed_links.remove(link_key(a, b));
+                } else {
+                    self.failed_links.insert(link_key(a, b));
+                }
+            }
+            LaneEvent::SetLoss { ppm } => {
+                self.kernel.control_events += 1;
+                self.faults.loss_ppm = ppm;
+            }
+            LaneEvent::SetJitter { nanos } => {
+                self.kernel.control_events += 1;
+                self.faults.jitter_ns = nanos;
+            }
+            LaneEvent::SetPartition { sides } => {
+                self.kernel.control_events += 1;
+                self.partition = sides;
+            }
+        }
+    }
+
+    fn with_ctx<F: FnOnce(&mut P, &mut Ctx<'_, P>)>(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        net: &dyn LatencyModel,
+        f: F,
+    ) {
+        let l = (node.as_u32() / self.lanes) as usize;
+        let p = &mut self.nodes[l];
+        let mut backend = LaneBackend::<P> {
+            lane_index: self.index,
+            lanes: self.lanes,
+            from: node,
+            now: at,
+            net,
+            queue: &mut self.queue,
+            stats: &mut self.stats,
+            faults: &mut self.faults,
+            outbox: &mut self.outbox,
+            events_out: &mut self.events_out,
+        };
+        let mut ctx = Ctx::for_host(node, at, &mut self.rngs[l], &mut backend);
+        f(p, &mut ctx);
+    }
+
+    fn dispatch_start(&mut self, node: NodeId, net: &dyn LatencyModel) {
+        self.with_ctx(SimTime::ZERO, node, net, |p, ctx| p.on_start(ctx));
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        let mut k = self.kernel;
+        k.queue_len = self.queue.len();
+        k.events_scheduled = self.queue.scheduled_total();
+        k.chaos_losses = self.faults.losses;
+        k.slab_slots = self.queue.slab_slots();
+        k.queue_mem_bytes = self.queue.mem_bytes();
+        k
+    }
+}
+
+/// The [`HostBackend`] a lane presents to its protocol instances. The
+/// state machines run unchanged: they cannot tell a lane from the
+/// single-threaded kernel or from a real deployment host.
+struct LaneBackend<'a, P: Protocol> {
+    lane_index: u32,
+    lanes: u32,
+    from: NodeId,
+    now: SimTime,
+    net: &'a dyn LatencyModel,
+    queue: &'a mut EventQueue<LaneEvent<P::Msg, P::Command>>,
+    stats: &'a mut TrafficStats,
+    faults: &'a mut NetFaults,
+    outbox: &'a mut Vec<CrossLaneMsg<P::Msg>>,
+    events_out: &'a mut Vec<(SimTime, NodeId, P::Event)>,
+}
+
+impl<P: Protocol> HostBackend<P> for LaneBackend<'_, P> {
+    fn send(&mut self, to: NodeId, msg: P::Msg) {
+        // Same send-path order as the single-threaded kernel: count the
+        // send, then the loss draw, then jitter.
+        let mut latency = self.net.one_way(self.from, to);
+        self.stats
+            .record(self.from, to, msg.wire_size(), msg.class());
+        if self.faults.active() && to != self.from {
+            if self.faults.loss_ppm > 0
+                && self.faults.rng.gen_range(0..1_000_000u32) < self.faults.loss_ppm
+            {
+                self.faults.losses += 1;
+                return;
+            }
+            if self.faults.jitter_ns > 0 {
+                latency +=
+                    Duration::from_nanos(self.faults.rng.gen_range(0..=self.faults.jitter_ns));
+            }
+        }
+        let at = self.now + latency;
+        if to.as_u32() % self.lanes == self.lane_index {
+            self.queue.schedule(
+                at,
+                LaneEvent::Deliver {
+                    from: self.from,
+                    to,
+                    msg,
+                },
+            );
+        } else {
+            self.outbox.push(CrossLaneMsg {
+                at,
+                from: self.from,
+                to,
+                msg,
+            });
+        }
+    }
+
+    fn set_timer(&mut self, delay: Duration, timer: Timer) {
+        self.queue.schedule(
+            self.now + delay,
+            LaneEvent::Fire {
+                node: self.from,
+                timer,
+            },
+        );
+    }
+
+    fn emit(&mut self, event: P::Event) {
+        self.events_out.push((self.now, self.from, event));
+    }
+
+    fn node_count(&self) -> usize {
+        self.net.len()
+    }
+}
+
+/// Configures and constructs a [`ShardedSim`].
+///
+/// ```
+/// use gocast_sim::{FixedLatency, ShardedSimBuilder};
+/// use std::time::Duration;
+///
+/// let builder = ShardedSimBuilder::new(FixedLatency::new(256, Duration::from_millis(10)))
+///     .seed(42)
+///     .lanes(16)
+///     .threads(2);
+/// # let _ = builder;
+/// ```
+pub struct ShardedSimBuilder {
+    net: Arc<dyn LatencyModel + Send + Sync>,
+    seed: u64,
+    lanes: usize,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ShardedSimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimBuilder")
+            .field("nodes", &self.net.len())
+            .field("seed", &self.seed)
+            .field("lanes", &self.lanes)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Default lane count: enough lanes that any plausible `--sim-shards`
+/// divides the population usefully, few enough that per-window barrier
+/// bookkeeping stays negligible.
+pub const DEFAULT_LANES: usize = 64;
+
+impl ShardedSimBuilder {
+    /// Starts a builder over `net`, whose node count determines the
+    /// simulation's node count. The model must promise a positive
+    /// [`LatencyModel::lookahead`]; [`ShardedSimBuilder::build_with`]
+    /// panics otherwise.
+    pub fn new(net: impl LatencyModel + Send + Sync + 'static) -> Self {
+        ShardedSimBuilder {
+            net: Arc::new(net),
+            seed: 0,
+            lanes: DEFAULT_LANES,
+            threads: 1,
+        }
+    }
+
+    /// Sets the master seed. Per-node RNG streams derive from it exactly
+    /// as in the single-threaded kernel.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the lane count — a **semantic** parameter (see the module
+    /// docs). Clamped to at least 1.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count — pure execution policy; output is
+    /// byte-identical at any value. Clamped to at least 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builds the sharded simulation, constructing one protocol instance
+    /// per node with `make` (called in global id order) and recording
+    /// merged events with `recorder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency model does not promise a positive lookahead.
+    pub fn build_with<P, R, F>(self, recorder: R, mut make: F) -> ShardedSim<P, R>
+    where
+        P: Protocol,
+        R: Recorder<P::Event>,
+        F: FnMut(NodeId) -> P,
+    {
+        let n = self.net.len();
+        let lookahead = self
+            .net
+            .lookahead()
+            .filter(|d| *d > Duration::ZERO)
+            .expect("ShardedSim requires a latency model with positive lookahead");
+        let lanes_n = self.lanes.min(n.max(1));
+        let mut lanes: Vec<Lane<P>> = (0..lanes_n)
+            .map(|li| Lane {
+                index: li as u32,
+                lanes: lanes_n as u32,
+                nodes: Vec::new(),
+                alive: Vec::new(),
+                rngs: Vec::new(),
+                queue: EventQueue::new(),
+                stats: TrafficStats::new(),
+                kernel: KernelStats::default(),
+                // Distinct chaos stream per lane, derived from the master
+                // seed and the lane index (stable across thread counts).
+                faults: NetFaults::new(
+                    self.seed
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(li as u64 + 1)),
+                ),
+                failed_links: LinkSet::default(),
+                partition: None,
+                outbox: Vec::new(),
+                events_out: Vec::new(),
+            })
+            .collect();
+        // Global id order keeps `make` side effects (bootstrap graph
+        // draws) identical to the single-threaded builder.
+        for g in 0..n {
+            let id = NodeId::new(g as u32);
+            let lane = &mut lanes[g % lanes_n];
+            lane.nodes.push(make(id));
+            lane.alive.push(true);
+            lane.rngs.push(SmallRng::seed_from_u64(
+                self.seed.wrapping_mul(0x9e3779b97f4a7c15) ^ g as u64,
+            ));
+        }
+        ShardedSim {
+            now: SimTime::ZERO,
+            lanes,
+            net: self.net,
+            recorder,
+            lookahead,
+            threads: self.threads,
+            wall_time: Duration::ZERO,
+            started: false,
+            scratch_msgs: Vec::new(),
+            scratch_events: Vec::new(),
+        }
+    }
+}
+
+/// A deterministic sharded discrete-event simulation (see the module docs
+/// for the execution and determinism model).
+///
+/// The public surface mirrors [`Sim`](crate::Sim) where experiments need
+/// it: scheduling, fault injection, stats/metrics snapshots, and node
+/// access. Deep kernel telemetry (dispatch-time histograms) is not
+/// available in sharded runs.
+pub struct ShardedSim<P: Protocol, R: Recorder<P::Event>> {
+    now: SimTime,
+    lanes: Vec<Lane<P>>,
+    net: Arc<dyn LatencyModel + Send + Sync>,
+    recorder: R,
+    lookahead: Duration,
+    threads: usize,
+    wall_time: Duration,
+    started: bool,
+    /// Barrier-merge scratch, reused across windows: `(lane, pos, msg)`.
+    scratch_msgs: Vec<(u32, u32, CrossLaneMsg<P::Msg>)>,
+    /// Recorder-merge scratch: `(at, lane, pos, node, event)`.
+    scratch_events: Vec<(SimTime, u32, u32, NodeId, P::Event)>,
+}
+
+impl<P: Protocol, R: Recorder<P::Event>> std::fmt::Debug for ShardedSim<P, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("now", &self.now)
+            .field("nodes", &self.len())
+            .field("lanes", &self.lanes.len())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<P: Protocol, R: Recorder<P::Event>> ShardedSim<P, R> {
+    /// Number of nodes (alive or failed).
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.nodes.len()).sum()
+    }
+
+    /// Whether the simulation has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current simulated time (the frontier every lane has reached).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The lane count (semantic; see the module docs).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The worker-thread count (execution policy only).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The conservative lookahead window Δ the latency model promised.
+    pub fn lookahead(&self) -> Duration {
+        self.lookahead
+    }
+
+    /// The latency model driving this simulation.
+    pub fn latency_model(&self) -> &dyn LatencyModel {
+        &*self.net
+    }
+
+    #[inline]
+    fn owner(&self, node: NodeId) -> usize {
+        node.index() % self.lanes.len()
+    }
+
+    #[inline]
+    fn lane_of(&mut self, node: NodeId) -> &mut Lane<P> {
+        let o = self.owner(node);
+        &mut self.lanes[o]
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        let lane = &self.lanes[self.owner(node)];
+        lane.alive[lane.local(node)]
+    }
+
+    /// Ids of all currently alive nodes, in increasing id order.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let lanes = self.lanes.len() as u32;
+        (0..self.len() as u32).map(NodeId::new).filter(move |id| {
+            let lane = &self.lanes[(id.as_u32() % lanes) as usize];
+            lane.alive[(id.as_u32() / lanes) as usize]
+        })
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, node: NodeId) -> &P {
+        let lane = &self.lanes[self.owner(node)];
+        &lane.nodes[lane.local(node)]
+    }
+
+    /// Mutable access to a node's protocol state (test/harness use).
+    pub fn node_mut(&mut self, node: NodeId) -> &mut P {
+        let o = self.owner(node);
+        let lane = &mut self.lanes[o];
+        let l = lane.local(node);
+        &mut lane.nodes[l]
+    }
+
+    /// Iterates over `(id, state)` for every node in increasing id order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        let lanes = self.lanes.len() as u32;
+        (0..self.len() as u32).map(move |g| {
+            let lane = &self.lanes[(g % lanes) as usize];
+            (NodeId::new(g), &lane.nodes[(g / lanes) as usize])
+        })
+    }
+
+    /// The recorder (merged event stream).
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable access to the recorder.
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
+    /// Consumes the simulation, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
+    /// Aggregate traffic counters over all lanes.
+    pub fn stats(&self) -> TrafficStats {
+        let mut total = TrafficStats::new();
+        for lane in &self.lanes {
+            total.absorb(&lane.stats);
+        }
+        total
+    }
+
+    /// Aggregate kernel counters over all lanes. Broadcast control events
+    /// (link cuts, loss/jitter/partition changes) count once **per lane**;
+    /// `queue_high_water` is the deepest single lane, not a global
+    /// instant; `wall_time` is the coordinator's run-loop time.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for lane in &self.lanes {
+            total.absorb(&lane.kernel_stats());
+        }
+        total.wall_time = self.wall_time;
+        total
+    }
+
+    /// A named metrics [`Snapshot`](gocast_metrics::Snapshot) under the
+    /// same stable `kernel_*` names as the single-threaded kernel, plus
+    /// `kernel_lanes`.
+    pub fn metrics_snapshot(&self) -> gocast_metrics::Snapshot {
+        let k = self.kernel_stats();
+        let mut s = gocast_metrics::Snapshot::new();
+        s.record_counter("kernel_events", k.events_processed);
+        s.record_counter("kernel_scheduled", k.events_scheduled);
+        s.record_counter("kernel_deliveries", k.deliveries);
+        s.record_counter("kernel_drops", k.messages_dropped);
+        s.record_counter("kernel_partition_drops", k.partition_drops);
+        s.record_counter("kernel_chaos_losses", k.chaos_losses);
+        s.record_counter("kernel_timers", k.timers_fired);
+        s.record_counter("kernel_commands", k.commands);
+        s.record_counter("kernel_control", k.control_events);
+        s.record_level(
+            "kernel_queue_len",
+            k.queue_len as i64,
+            k.queue_high_water as i64,
+        );
+        let occupied: usize = self
+            .lanes
+            .iter()
+            .map(|l| l.queue.slab_slots() - l.queue.free_slots())
+            .sum();
+        s.record_level("kernel_slab_occupied", occupied as i64, k.slab_slots as i64);
+        s.record_counter("kernel_queue_mem_bytes", k.queue_mem_bytes);
+        s.record_counter("kernel_lanes", self.lanes.len() as u64);
+        s
+    }
+
+    fn check_future(&self, at: SimTime) -> Result<(), PastScheduleError> {
+        if at < self.now {
+            Err(PastScheduleError { at, now: self.now })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Schedules command `cmd` for `node` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: P::Command) {
+        self.check_future(at).unwrap_or_else(|e| panic!("{e}"));
+        self.lane_of(node)
+            .queue
+            .schedule(at, LaneEvent::Command { node, cmd });
+    }
+
+    /// Injects a command for `node` at the current time.
+    pub fn command_now(&mut self, node: NodeId, cmd: P::Command) {
+        let now = self.now;
+        self.lane_of(node)
+            .queue
+            .schedule(now, LaneEvent::Command { node, cmd });
+    }
+
+    /// Crashes `node` immediately.
+    pub fn fail_node(&mut self, node: NodeId) {
+        let lane = self.lane_of(node);
+        let l = lane.local(node);
+        lane.alive[l] = false;
+    }
+
+    /// Schedules a crash of `node` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn fail_node_at(&mut self, at: SimTime, node: NodeId) {
+        self.check_future(at).unwrap_or_else(|e| panic!("{e}"));
+        self.lane_of(node)
+            .queue
+            .schedule(at, LaneEvent::Fail { node });
+    }
+
+    /// Broadcasts a control event into every lane's queue at `at`.
+    fn broadcast(&mut self, at: SimTime, make: impl Fn() -> LaneEvent<P::Msg, P::Command>) {
+        self.check_future(at).unwrap_or_else(|e| panic!("{e}"));
+        for lane in &mut self.lanes {
+            lane.queue.schedule(at, make());
+        }
+    }
+
+    /// Schedules a (bidirectional) link cut at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn fail_link_at(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        self.broadcast(at, || LaneEvent::SetLink { a, b, up: false });
+    }
+
+    /// Schedules a link restore at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn heal_link_at(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        self.broadcast(at, || LaneEvent::SetLink { a, b, up: true });
+    }
+
+    /// Sets the per-message loss probability immediately (see
+    /// [`Sim::set_loss`](crate::Sim::set_loss)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn set_loss(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} not in 0..=1"
+        );
+        let ppm = (p * 1_000_000.0).round() as u32;
+        for lane in &mut self.lanes {
+            lane.faults.loss_ppm = ppm;
+        }
+    }
+
+    /// Sets the maximum injected latency jitter immediately.
+    pub fn set_jitter(&mut self, jitter: Duration) {
+        let nanos = jitter.as_nanos().min(u64::MAX as u128) as u64;
+        for lane in &mut self.lanes {
+            lane.faults.jitter_ns = nanos;
+        }
+    }
+
+    /// Schedules a loss-probability change at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `p` is not within `0.0..=1.0`.
+    pub fn set_loss_at(&mut self, at: SimTime, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} not in 0..=1"
+        );
+        let ppm = (p * 1_000_000.0).round() as u32;
+        self.broadcast(at, || LaneEvent::SetLoss { ppm });
+    }
+
+    /// Schedules a jitter change at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn set_jitter_at(&mut self, at: SimTime, jitter: Duration) {
+        let nanos = jitter.as_nanos().min(u64::MAX as u128) as u64;
+        self.broadcast(at, || LaneEvent::SetJitter { nanos });
+    }
+
+    /// Schedules a partition at absolute time `at`: `sides[g]` labels node
+    /// `g`; messages between different labels are dropped in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `sides.len()` differs from the
+    /// node count.
+    pub fn partition_at(&mut self, at: SimTime, sides: Vec<u32>) {
+        assert_eq!(sides.len(), self.len(), "partition must label every node");
+        let shared = Arc::new(sides);
+        self.broadcast(at, || LaneEvent::SetPartition {
+            sides: Some(Arc::clone(&shared)),
+        });
+    }
+
+    /// Schedules the removal of any active partition at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn heal_partition_at(&mut self, at: SimTime) {
+        self.broadcast(at, || LaneEvent::SetPartition { sides: None });
+    }
+
+    /// Calls `on_start` on every alive node, once, and merges the
+    /// resulting cross-lane traffic. Run methods call this implicitly.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for o in 0..self.lanes.len() {
+            let net = Arc::clone(&self.net);
+            let lane = &mut self.lanes[o];
+            for l in 0..lane.nodes.len() {
+                if lane.alive[l] {
+                    let id = NodeId::new((l * lane.lanes as usize) as u32 + lane.index);
+                    lane.dispatch_start(id, &*net);
+                }
+            }
+        }
+        self.merge_barrier();
+    }
+
+    /// The earliest pending event time across all lanes.
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.lanes.iter().filter_map(|l| l.queue.peek_time()).min()
+    }
+
+    /// Drains every lane's outbox and recorder buffer in canonical order:
+    /// cross-lane messages sort by `(arrival, source lane, send order)`
+    /// and are scheduled into their destination lanes; recorder events
+    /// sort by `(time, lane, emission order)` and feed the global
+    /// recorder. Both orders are independent of the thread count.
+    fn merge_barrier(&mut self) {
+        let mut msgs = std::mem::take(&mut self.scratch_msgs);
+        let mut events = std::mem::take(&mut self.scratch_events);
+        for lane in &mut self.lanes {
+            for (pos, m) in lane.outbox.drain(..).enumerate() {
+                msgs.push((lane.index, pos as u32, m));
+            }
+            for (pos, (at, node, ev)) in lane.events_out.drain(..).enumerate() {
+                events.push((at, lane.index, pos as u32, node, ev));
+            }
+        }
+        msgs.sort_by_key(|(lane, pos, m)| (m.at, *lane, *pos));
+        for (_, _, m) in msgs.drain(..) {
+            let o = self.owner(m.to);
+            self.lanes[o].queue.schedule(
+                m.at,
+                LaneEvent::Deliver {
+                    from: m.from,
+                    to: m.to,
+                    msg: m.msg,
+                },
+            );
+        }
+        events.sort_by_key(|(at, lane, pos, _, _)| (*at, *lane, *pos));
+        for (at, _, _, node, ev) in events.drain(..) {
+            self.recorder.record(at, node, ev);
+        }
+        self.scratch_msgs = msgs;
+        self.scratch_events = events;
+    }
+
+    /// Serial window loop (the `threads == 1` path).
+    fn run_windows_serial(&mut self, deadline: SimTime) {
+        let delta = self.lookahead.as_nanos().min(u64::MAX as u128) as u64;
+        while let Some(next) = self.next_event_time() {
+            if next > deadline {
+                break;
+            }
+            let end = SimTime::from_nanos(
+                next.as_nanos()
+                    .saturating_add(delta - 1)
+                    .min(deadline.as_nanos()),
+            );
+            let net = Arc::clone(&self.net);
+            for lane in &mut self.lanes {
+                lane.run_window(end, &*net);
+            }
+            self.merge_barrier();
+            self.now = end;
+        }
+        self.now = deadline;
+    }
+}
+
+impl<P, R> ShardedSim<P, R>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+    P::Command: Send,
+    P::Event: Send,
+    R: Recorder<P::Event>,
+{
+    /// Processes all events scheduled at or before `deadline`, then
+    /// advances the clock to `deadline`. Windows of length Δ execute
+    /// lane-parallel across the configured worker threads; output is
+    /// byte-identical at any thread count.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        let t0 = std::time::Instant::now();
+        self.start();
+        if self.threads <= 1 || self.lanes.len() <= 1 {
+            self.run_windows_serial(deadline);
+        } else {
+            self.run_windows_threaded(deadline);
+        }
+        self.wall_time += t0.elapsed();
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Threaded window loop: persistent workers, two barrier waits per
+    /// window (start work / work done), coordinator merges in between.
+    fn run_windows_threaded(&mut self, deadline: SimTime) {
+        let delta = self.lookahead.as_nanos().min(u64::MAX as u128) as u64;
+        let workers = self.threads.min(self.lanes.len());
+        let barrier = Barrier::new(workers + 1);
+        // Window end, as nanos; u64::MAX doubles as the shutdown signal.
+        let window_end = AtomicU64::new(0);
+        let next_lane = AtomicUsize::new(0);
+        let net = Arc::clone(&self.net);
+        // Split-borrow: workers take the lanes (behind per-lane mutexes,
+        // claimed by atomic index so each lane has exactly one owner per
+        // window); the coordinator keeps recorder + scratch.
+        let lane_cells: Vec<Mutex<&mut Lane<P>>> = self.lanes.iter_mut().map(Mutex::new).collect();
+        let recorder = &mut self.recorder;
+        let scratch_msgs = &mut self.scratch_msgs;
+        let scratch_events = &mut self.scratch_events;
+        let mut now = self.now;
+        std::thread::scope(|s| {
+            let barrier = &barrier;
+            let window_end = &window_end;
+            let next_lane = &next_lane;
+            let lane_cells = &lane_cells;
+            for _ in 0..workers {
+                let net = Arc::clone(&net);
+                s.spawn(move || loop {
+                    barrier.wait();
+                    let end = window_end.load(Ordering::Acquire);
+                    if end == u64::MAX {
+                        break;
+                    }
+                    let end = SimTime::from_nanos(end);
+                    loop {
+                        let i = next_lane.fetch_add(1, Ordering::Relaxed);
+                        if i >= lane_cells.len() {
+                            break;
+                        }
+                        let mut lane = lane_cells[i].lock().expect("lane lock");
+                        lane.run_window(end, &*net);
+                    }
+                    barrier.wait();
+                });
+            }
+            loop {
+                let next = lane_cells
+                    .iter()
+                    .filter_map(|c| c.lock().expect("lane lock").queue.peek_time())
+                    .min();
+                let Some(next) = next.filter(|t| *t <= deadline) else {
+                    window_end.store(u64::MAX, Ordering::Release);
+                    barrier.wait();
+                    break;
+                };
+                let end = next
+                    .as_nanos()
+                    .saturating_add(delta - 1)
+                    .min(deadline.as_nanos());
+                window_end.store(end, Ordering::Release);
+                next_lane.store(0, Ordering::Relaxed);
+                barrier.wait(); // workers start
+                barrier.wait(); // workers done
+                                // Canonical merge, identical to the serial path.
+                for cell in lane_cells {
+                    let mut lane = cell.lock().expect("lane lock");
+                    let idx = lane.index;
+                    for (pos, m) in lane.outbox.drain(..).enumerate() {
+                        scratch_msgs.push((idx, pos as u32, m));
+                    }
+                    for (pos, (at, node, ev)) in lane.events_out.drain(..).enumerate() {
+                        scratch_events.push((at, idx, pos as u32, node, ev));
+                    }
+                }
+                scratch_msgs.sort_by_key(|(lane, pos, m)| (m.at, *lane, *pos));
+                let lanes_n = lane_cells.len() as u32;
+                for (_, _, m) in scratch_msgs.drain(..) {
+                    let o = (m.to.as_u32() % lanes_n) as usize;
+                    lane_cells[o].lock().expect("lane lock").queue.schedule(
+                        m.at,
+                        LaneEvent::Deliver {
+                            from: m.from,
+                            to: m.to,
+                            msg: m.msg,
+                        },
+                    );
+                }
+                scratch_events.sort_by_key(|(at, lane, pos, _, _)| (*at, *lane, *pos));
+                for (at, _, _, node, ev) in scratch_events.drain(..) {
+                    recorder.record(at, node, ev);
+                }
+                now = SimTime::from_nanos(end);
+            }
+        });
+        let _ = now;
+        self.now = deadline;
+    }
+}
+
+impl<P: Protocol, R: Recorder<P::Event>> FaultSink<P::Command> for ShardedSim<P, R> {
+    fn sink_node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn sink_fail_node_at(&mut self, at: SimTime, node: NodeId) {
+        self.fail_node_at(at, node);
+    }
+
+    fn sink_schedule_command(&mut self, at: SimTime, node: NodeId, cmd: P::Command) {
+        self.schedule_command(at, node, cmd);
+    }
+
+    fn sink_fail_link_at(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        self.fail_link_at(at, a, b);
+    }
+
+    fn sink_heal_link_at(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        self.heal_link_at(at, a, b);
+    }
+
+    fn sink_partition_at(&mut self, at: SimTime, sides: Vec<u32>) {
+        self.partition_at(at, sides);
+    }
+
+    fn sink_heal_partition_at(&mut self, at: SimTime) {
+        self.heal_partition_at(at);
+    }
+
+    fn sink_set_loss_at(&mut self, at: SimTime, p: f64) {
+        self.set_loss_at(at, p);
+    }
+
+    fn sink_set_jitter_at(&mut self, at: SimTime, jitter: Duration) {
+        self.set_jitter_at(at, jitter);
+    }
+}
+
+/// Applies `f` to every item, fanning work across at most `jobs` worker
+/// threads, and returns the results **in item order** regardless of which
+/// worker finished when.
+///
+/// `f` receives `(index, item)` and must be deterministic per item for
+/// output to be independent of `jobs`. With `jobs <= 1` (or a single
+/// item) everything runs inline on the caller's thread — the fully serial
+/// path, with no thread machinery at all.
+///
+/// Workers pull items from a shared queue, so long and short runs load-
+/// balance; there is no per-item thread spawn. Lives in `gocast-sim` so
+/// both the per-seed experiment fan-out and any kernel-level parallelism
+/// share one audited implementation.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated).
+pub fn parallel_map<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let n_items = items.len();
+    let queue: Mutex<std::collections::VecDeque<(usize, I)>> =
+        Mutex::new(items.into_iter().enumerate().collect());
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n_items);
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("queue lock").pop_front();
+                        match next {
+                            Some((i, item)) => out.push((i, f(i, item))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::FixedLatency;
+    use crate::recorder::VecRecorder;
+    use crate::stats::TrafficClass;
+
+    /// The kernel test module's ring protocol, re-declared here: floods a
+    /// token around a ring, one hop per message.
+    struct Ring {
+        id: NodeId,
+        n: u32,
+        hops_seen: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Hop(u32);
+
+    impl Wire for Hop {
+        fn wire_size(&self) -> u32 {
+            8
+        }
+        fn class(&self) -> TrafficClass {
+            TrafficClass::Data
+        }
+    }
+
+    impl Protocol for Ring {
+        type Msg = Hop;
+        type Command = ();
+        type Event = (SimTime, u32);
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+            if self.id == NodeId::new(0) {
+                let next = NodeId::new((self.id.as_u32() + 1) % self.n);
+                ctx.send(next, Hop(0));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, _from: NodeId, msg: Hop) {
+            self.hops_seen += 1;
+            ctx.emit((ctx.now(), msg.0));
+            if msg.0 < 3 * self.n {
+                let next = NodeId::new((self.id.as_u32() + 1) % self.n);
+                ctx.send(next, Hop(msg.0 + 1));
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _timer: Timer) {}
+    }
+
+    fn ring(n: u32, lanes: usize, threads: usize) -> ShardedSim<Ring, VecRecorder<(SimTime, u32)>> {
+        ShardedSimBuilder::new(FixedLatency::new(n as usize, Duration::from_millis(10)))
+            .seed(1)
+            .lanes(lanes)
+            .threads(threads)
+            .build_with(VecRecorder::new(), |id| Ring {
+                id,
+                n,
+                hops_seen: 0,
+            })
+    }
+
+    #[test]
+    fn ring_circulates_across_lanes() {
+        let mut sim = ring(4, 3, 1);
+        sim.run_until(SimTime::from_secs(1));
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 13, "3n + 1 hops");
+        assert_eq!(sim.recorder().events.len(), 13);
+        let k = sim.kernel_stats();
+        assert_eq!(k.deliveries, 13);
+        assert_eq!(sim.stats().class(TrafficClass::Data).messages, 13);
+    }
+
+    #[test]
+    fn output_identical_across_thread_counts() {
+        let run = |threads| {
+            let mut sim = ring(64, 8, threads);
+            sim.run_until(SimTime::from_secs(30));
+            (
+                sim.recorder().events.clone(),
+                sim.kernel_stats().deliveries,
+                sim.now(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn matches_single_kernel_totals() {
+        // Same ring on the single-threaded kernel: aggregate behaviour
+        // (hops, deliveries, final time) must agree even though event
+        // interleaving differs.
+        let mut sharded = ring(12, 5, 2);
+        sharded.run_until(SimTime::from_secs(2));
+        let sharded_hops: u32 = sharded.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(sharded_hops, 3 * 12 + 1);
+        assert_eq!(sharded.kernel_stats().deliveries, (3 * 12 + 1) as u64);
+    }
+
+    #[test]
+    fn fail_node_drops_traffic() {
+        let mut sim = ring(4, 2, 1);
+        sim.fail_node_at(SimTime::from_millis(15), NodeId::new(2));
+        sim.run_until(SimTime::from_secs(1));
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 1, "ring dies at the failed node");
+        assert!(!sim.is_alive(NodeId::new(2)));
+        assert_eq!(sim.alive_nodes().count(), 3);
+        assert_eq!(sim.kernel_stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn link_cut_and_partition_replicate_to_lanes() {
+        let mut sim = ring(4, 4, 1);
+        sim.fail_link_at(SimTime::from_millis(25), NodeId::new(2), NodeId::new(3));
+        sim.run_until(SimTime::from_secs(1));
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 2, "token dies on the cut link");
+
+        let mut sim = ring(4, 4, 1);
+        sim.partition_at(SimTime::from_millis(25), vec![0, 0, 1, 1]);
+        sim.run_until(SimTime::from_secs(1));
+        let k = sim.kernel_stats();
+        assert_eq!(k.partition_drops, 1);
+    }
+
+    #[test]
+    fn total_loss_kills_all_traffic() {
+        let mut sim = ring(4, 2, 1);
+        sim.set_loss(1.0);
+        sim.run_until(SimTime::from_secs(1));
+        let total: u32 = sim.iter_nodes().map(|(_, p)| p.hops_seen).sum();
+        assert_eq!(total, 0);
+        assert_eq!(sim.kernel_stats().chaos_losses, 1);
+    }
+
+    #[test]
+    fn commands_and_scheduling_validate_time() {
+        let mut sim = ring(4, 2, 1);
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.schedule_command(SimTime::from_millis(10), NodeId::new(0), ());
+        }));
+        assert!(err.is_err(), "past scheduling must panic");
+    }
+
+    #[test]
+    fn builder_requires_lookahead() {
+        struct NoBound;
+        impl LatencyModel for NoBound {
+            fn one_way(&self, _: NodeId, _: NodeId) -> Duration {
+                Duration::ZERO
+            }
+            fn len(&self) -> usize {
+                4
+            }
+        }
+        let r = std::panic::catch_unwind(|| {
+            ShardedSimBuilder::new(NoBound).build_with(VecRecorder::<(SimTime, u32)>::new(), |_| {
+                Ring {
+                    id: NodeId::new(0),
+                    n: 4,
+                    hops_seen: 0,
+                }
+            })
+        });
+        assert!(r.is_err(), "zero-lookahead model must be rejected");
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..32).collect();
+        for jobs in [1, 2, 4, 7] {
+            let out = parallel_map(jobs, items.clone(), |i, v| {
+                assert_eq!(i as u64, v);
+                v * 10
+            });
+            assert_eq!(out, (0..32).map(|v| v * 10).collect::<Vec<_>>());
+        }
+    }
+}

@@ -139,6 +139,21 @@ impl TrafficStats {
         self.pair_counts.as_ref()
     }
 
+    /// Folds another run's counters into this one — the sharded kernel's
+    /// per-lane aggregation. Pair counts merge when both sides track them.
+    pub fn absorb(&mut self, other: &TrafficStats) {
+        for (mine, theirs) in self.per_class.iter_mut().zip(&other.per_class) {
+            mine.messages += theirs.messages;
+            mine.bytes += theirs.bytes;
+        }
+        self.dropped_to_dead += other.dropped_to_dead;
+        if let (Some(mine), Some(theirs)) = (&mut self.pair_counts, &other.pair_counts) {
+            for (k, v) in theirs {
+                *mine.entry(*k).or_insert(0) += v;
+            }
+        }
+    }
+
     /// Resets all counters (pair tracking stays enabled if it was).
     pub fn reset(&mut self) {
         self.per_class = Default::default();

@@ -4,7 +4,8 @@
 # Usage: scripts/bench_compare.sh [--update]
 #
 # Reads the committed throughput baselines from BENCH_kernel.json
-# (`kernel/events_per_steady_second_128` and the headline
+# (`kernel/events_per_steady_second_128`, the sharded-kernel headline
+# `kernel_scale_events_per_sec`, and the headline
 # `testnet_msgs_per_sec`, the best point on the 64-node shard-scaling
 # curve), re-runs the benchmark suite
 # (which rewrites BENCH_kernel.json), and fails if fresh throughput fell
@@ -18,6 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 KERNEL_ID="kernel/events_per_steady_second_128"
+SCALE_KEY="kernel_scale_events_per_sec"
 TESTNET_KEY="testnet_msgs_per_sec"
 FILE="BENCH_kernel.json"
 MAX_REGRESSION=0.25
@@ -68,6 +70,7 @@ if [[ -z "$kernel_baseline" ]]; then
     exit 1
 fi
 testnet_baseline=$(field_from "$TESTNET_KEY" "$FILE")
+scale_baseline=$(field_from "$SCALE_KEY" "$FILE")
 
 keep_baseline=$(mktemp)
 cp "$FILE" "$keep_baseline"
@@ -77,6 +80,7 @@ cargo bench -p gocast-bench
 
 kernel_fresh=$(rate_from "$KERNEL_ID" "$FILE")
 testnet_fresh=$(field_from "$TESTNET_KEY" "$FILE")
+scale_fresh=$(field_from "$SCALE_KEY" "$FILE")
 if [[ -z "$kernel_fresh" ]]; then
     cp "$keep_baseline" "$FILE"; rm -f "$keep_baseline"
     echo "error: $KERNEL_ID missing from fresh bench output" >&2
@@ -85,6 +89,16 @@ fi
 
 failed=0
 gate "$KERNEL_ID" "$kernel_baseline" "$kernel_fresh" || failed=1
+
+if [[ -z "$scale_baseline" ]]; then
+    echo "==> $SCALE_KEY: no committed baseline; skipping sharded-kernel gate"
+elif [[ -z "$scale_fresh" ]]; then
+    cp "$keep_baseline" "$FILE"; rm -f "$keep_baseline"
+    echo "error: $SCALE_KEY missing from fresh bench output" >&2
+    exit 1
+else
+    gate "$SCALE_KEY" "$scale_baseline" "$scale_fresh" || failed=1
+fi
 
 if [[ -z "$testnet_baseline" ]]; then
     echo "==> $TESTNET_KEY: no committed baseline; skipping wire gate"

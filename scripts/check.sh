@@ -113,4 +113,43 @@ echo "==> portable (non-mmsg) wire path fallback"
 GOCAST_FABRIC_PORTABLE=1 cargo run --release -q -p gocast-experiments -- \
     testnet --nodes 12 --messages 100 --shards 2 --no-csv
 
+echo "==> scale smoke: 10^4 nodes on the sharded kernel (oracle-gated)"
+# A 10,000-node delivery + site-catastrophe run through the sharded
+# kernel and the
+# O(sites)-memory latency model, on 2 worker threads. The subcommand
+# exits nonzero on any oracle violation or delivery collapse; `timeout`
+# enforces the wall-clock budget so a scaling regression fails loudly.
+timeout 600 cargo run --release -q -p gocast-experiments -- scale \
+    --nodes 10000 --sim-shards 2 --warmup 30 --messages 10 --rate 2 \
+    --drain 20 --no-csv
+
+echo "==> docs cross-reference check (every .md link resolves)"
+# Every relative markdown link in the repo's own docs must point at a
+# file that exists, so the architecture pass cannot rot silently.
+fail=0
+for doc in *.md crates/*/README.md; do
+    [[ -f "$doc" ]] || continue
+    # Externally sourced reference material (paper abstracts, exemplar
+    # snippets, the issue brief) quotes links from *other* repositories;
+    # only the repo's own docs are held to the resolvable-link bar.
+    case "$doc" in
+        SNIPPETS.md|PAPER.md|PAPERS.md|ISSUE.md) continue ;;
+    esac
+    dir=$(dirname "$doc")
+    # Relative links only: skip http(s), mailto, and in-page anchors.
+    while IFS= read -r target; do
+        [[ -z "$target" ]] && continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [[ -e "$dir/$path" ]] || {
+            echo "FAIL: $doc links to missing file: $target" >&2
+            fail=1
+        }
+    done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+[[ $fail -eq 0 ]] || exit 1
+echo "    all markdown links resolve"
+
 echo "All checks passed."
